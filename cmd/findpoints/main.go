@@ -1,0 +1,39 @@
+// Command findpoints runs the Section 6.2 heuristic: starting from the
+// tensor grid of evaluation points of an l-step Toom-Cook-k algorithm, it
+// searches for f redundant points keeping the set in (2k-1, l)-general
+// position — the validity condition for fault-tolerant multi-step traversal
+// (Sections 4.3 and 6.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/multistep"
+)
+
+func main() {
+	k := flag.Int("k", 2, "Toom-Cook split number")
+	l := flag.Int("l", 2, "merged BFS steps")
+	f := flag.Int("f", 2, "redundant points to find")
+	flag.Parse()
+
+	alg, err := multistep.New(*k, *l, *f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "findpoints:", err)
+		os.Exit(1)
+	}
+	pts := alg.Points()
+	base := len(pts) - *f
+	fmt.Printf("Toom-Cook-%d with %d merged steps: %d base points (tensor grid), %d redundant:\n", *k, *l, base, *f)
+	for i, p := range pts {
+		marker := " "
+		if i >= base {
+			marker = "+"
+		}
+		fmt.Printf(" %s %v\n", marker, p)
+	}
+	fmt.Printf("in (%d, %d)-general position: %v\n", 2**k-1, *l, alg.GeneralPosition())
+	fmt.Printf("interpolation needs any %d of the %d products\n", alg.Need(), alg.NumProducts())
+}

@@ -1,0 +1,175 @@
+// Command ftmul multiplies long integers with the library's algorithms and
+// prints the simulated cost report.
+//
+// Examples:
+//
+//	ftmul -a 123456789 -b 987654321                     # sequential Toom-3
+//	ftmul -bits 65536 -algo parallel -k 2 -P 9          # simulated cluster
+//	ftmul -bits 65536 -algo ft -k 2 -P 9 -f 1 -fault 4:mul
+//	ftmul -bits 65536 -algo replicated -P 9 -f 2
+//	ftmul -bits 65536 -algo checkpoint -P 9 -fault 3:mul
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+type faultFlags []ftmul.Fault
+
+func (f *faultFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *faultFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("fault spec %q: want proc:phase[:hit]", s)
+	}
+	proc, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("fault proc: %w", err)
+	}
+	phase := parts[1]
+	switch phase {
+	case ftmul.PhaseEval, ftmul.PhaseMul, ftmul.PhaseInterp:
+	default:
+		return fmt.Errorf("fault phase %q: want eval, mul or interp", phase)
+	}
+	hit := 0
+	if len(parts) == 3 {
+		hit, err = strconv.Atoi(parts[2])
+		if err != nil {
+			return fmt.Errorf("fault hit: %w", err)
+		}
+	}
+	*f = append(*f, ftmul.Fault{Proc: proc, Phase: phase, Hit: hit})
+	return nil
+}
+
+func main() {
+	var (
+		aStr   = flag.String("a", "", "first operand (decimal)")
+		bStr   = flag.String("b", "", "second operand (decimal)")
+		bits   = flag.Int("bits", 0, "generate random operands of this many bits instead of -a/-b")
+		seed   = flag.Int64("seed", 1, "PRNG seed for -bits")
+		algo   = flag.String("algo", "toom", "algorithm: toom, parallel, ft, replicated, checkpoint")
+		k      = flag.Int("k", 3, "Toom-Cook split number (>= 2)")
+		p      = flag.Int("P", 9, "simulated processors (power of 2k-1)")
+		f      = flag.Int("f", 1, "faults to tolerate (ft/replicated)")
+		mem    = flag.Int64("M", 0, "per-processor memory budget in words (0 = unlimited)")
+		quiet  = flag.Bool("q", false, "print only a digest of the product")
+		faults faultFlags
+	)
+	flag.Var(&faults, "fault", "inject a fault, proc:phase[:hit]; repeatable")
+	flag.Parse()
+
+	a, b, err := operands(*aStr, *bStr, *bits, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := ftmul.ClusterConfig{P: *p, MemoryWords: *mem}
+
+	var (
+		product *big.Int
+		report  *ftmul.CostReport
+		notes   []string
+	)
+	switch *algo {
+	case "toom":
+		product, err = ftmul.MulToom(a, b, *k)
+	case "parallel":
+		product, report, err = ftmul.MulParallel(a, b, *k, cfg)
+	case "ft":
+		var rep *ftmul.FTReport
+		product, rep, err = ftmul.MulFaultTolerant(a, b, *k, *f, cfg, faults)
+		if rep != nil {
+			report = &rep.CostReport
+			notes = append(notes,
+				fmt.Sprintf("code processors: %d", rep.CodeProcessors),
+				fmt.Sprintf("dead columns: %v", rep.DeadColumns),
+				fmt.Sprintf("recoveries: %d", rep.Recovered))
+		}
+	case "replicated":
+		var rep *ftmul.ReplicationReport
+		product, rep, err = ftmul.MulReplicated(a, b, *k, *f, cfg, faults)
+		if rep != nil {
+			report = &rep.CostReport
+			notes = append(notes,
+				fmt.Sprintf("fleets: %d, chosen: %d, dead: %v", rep.Fleets, rep.ChosenFleet, rep.DeadFleets))
+		}
+	case "checkpoint":
+		var rep *ftmul.CheckpointReport
+		product, rep, err = ftmul.MulCheckpointRestart(a, b, *k, cfg, faults)
+		if rep != nil {
+			report = &rep.CostReport
+			notes = append(notes, fmt.Sprintf("restarts: %d", rep.Restarts))
+		}
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	// Always verify against math/big; this tool is a reproduction harness.
+	want := new(big.Int).Mul(a, b)
+	if product.Cmp(want) != 0 {
+		fail(fmt.Errorf("PRODUCT MISMATCH against math/big — this is a bug"))
+	}
+
+	if *quiet || product.BitLen() > 4096 {
+		fmt.Printf("product: %d bits, low 64 hex digits …%s\n",
+			product.BitLen(), lastHex(product, 64))
+	} else {
+		fmt.Println(product)
+	}
+	fmt.Println("verified against math/big: ok")
+	if report != nil {
+		fmt.Printf("processors: %d\n", report.Processors)
+		fmt.Printf("critical path: F=%d words-ops, BW=%d words, L=%d messages, time=%.0f\n",
+			report.F, report.BW, report.L, report.Time)
+		fmt.Printf("totals: F=%d, BW=%d, L=%d\n", report.TotalF, report.TotalBW, report.TotalL)
+	}
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+}
+
+func operands(aStr, bStr string, bits int, seed int64) (*big.Int, *big.Int, error) {
+	if bits > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		lim := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+		return new(big.Int).Rand(rng, lim), new(big.Int).Rand(rng, lim), nil
+	}
+	if aStr == "" || bStr == "" {
+		return nil, nil, fmt.Errorf("provide -a and -b, or -bits")
+	}
+	a, ok := new(big.Int).SetString(aStr, 10)
+	if !ok {
+		return nil, nil, fmt.Errorf("cannot parse -a %q", aStr)
+	}
+	b, ok := new(big.Int).SetString(bStr, 10)
+	if !ok {
+		return nil, nil, fmt.Errorf("cannot parse -b %q", bStr)
+	}
+	return a, b, nil
+}
+
+func lastHex(v *big.Int, n int) string {
+	s := new(big.Int).Abs(v).Text(16)
+	if len(s) > n {
+		s = s[len(s)-n:]
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ftmul:", err)
+	os.Exit(1)
+}

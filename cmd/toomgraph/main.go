@@ -1,0 +1,49 @@
+// Command toomgraph prints Toom-Cook interpolation schedules (inversion
+// sequences, Definition 2.3 of the paper): the catalogued hand-optimized
+// schedules for Karatsuba and Toom-3, and the result of the Toom-Graph
+// best-first search over elementary row operations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/points"
+	"repro/internal/toom"
+	"repro/internal/toomgraph"
+)
+
+func main() {
+	k := flag.Int("k", 3, "Toom-Cook split number")
+	search := flag.Bool("search", false, "run the Toom-Graph search instead of printing the catalogued schedule")
+	nodes := flag.Int("nodes", 150000, "search node budget")
+	flag.Parse()
+
+	if !*search {
+		seq := toomgraph.ForK(*k)
+		if seq == nil {
+			fmt.Fprintf(os.Stderr, "no catalogued schedule for k=%d; try -search\n", *k)
+			os.Exit(1)
+		}
+		fmt.Printf("catalogued inversion sequence for Toom-Cook-%d (cost %.2f):\n%s\n", *k, seq.Cost(), seq)
+		return
+	}
+
+	pts := points.Standard(2**k - 1)
+	m := points.EvalMatrix(pts, 2**k-1)
+	rows, err := toom.IntRows(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "toomgraph:", err)
+		os.Exit(1)
+	}
+	opts := toomgraph.DefaultOptions()
+	opts.MaxNodes = *nodes
+	fmt.Printf("searching the Toom-Graph from the Toom-Cook-%d product evaluation matrix (%d nodes budget)...\n", *k, opts.MaxNodes)
+	seq, err := toomgraph.Find(rows, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "toomgraph:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("found inversion sequence (cost %.2f, %d ops):\n%s\n", seq.Cost(), len(seq.Ops), seq)
+}

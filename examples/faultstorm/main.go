@@ -1,0 +1,78 @@
+// Faultstorm compares the three fault-tolerance strategies of the paper's
+// Section 5 under identical fault pressure: the coded Fault-Tolerant
+// Toom-Cook (this paper), replication, and checkpoint-restart.
+//
+// One processor dies during the multiplication phase in every run. The
+// coded algorithm absorbs it with a redundant evaluation point;
+// replication burns a whole spare fleet; checkpoint-restart recomputes
+// everything. The printed table shows who pays what.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	lim := new(big.Int).Lsh(big.NewInt(1), 1<<15) // 32768-bit operands
+	a := new(big.Int).Rand(rng, lim)
+	b := new(big.Int).Rand(rng, lim)
+	want := new(big.Int).Mul(a, b)
+
+	const (
+		k = 2
+		p = 9
+		f = 1
+	)
+	cluster := ftmul.ClusterConfig{P: p}
+	fault := []ftmul.Fault{{Proc: 4, Phase: ftmul.PhaseMul}}
+
+	// Baseline for comparison: the plain parallel run, no faults.
+	_, plain, err := ftmul.MulParallel(a, b, k, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tprocessors\tF(crit path)\tF ovh\ttotal F\ttotal-F ovh\tcorrect\tnote")
+	emit := func(name string, procs int, rep *ftmul.CostReport, got *big.Int, note string) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%d\t%.2f\t%v\t%s\n",
+			name, procs, rep.F, float64(rep.F)/float64(plain.F),
+			rep.TotalF, float64(rep.TotalF)/float64(plain.TotalF),
+			got.Cmp(want) == 0, note)
+	}
+	emit("plain (no fault, reference)", p, plain, want, "-")
+
+	ftProd, ftRep, err := ftmul.MulFaultTolerant(a, b, k, f, cluster, fault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit("fault-tolerant (this paper)", ftRep.Processors, &ftRep.CostReport, ftProd,
+		fmt.Sprintf("dead columns %v, no recomputation", ftRep.DeadColumns))
+
+	replProd, replRep, err := ftmul.MulReplicated(a, b, k, f, cluster, fault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit("replication", replRep.Processors, &replRep.CostReport, replProd,
+		fmt.Sprintf("fleet %d lost, fleet %d used", replRep.DeadFleets[0], replRep.ChosenFleet))
+
+	crProd, crRep, err := ftmul.MulCheckpointRestart(a, b, k, cluster, fault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit("checkpoint-restart", crRep.Processors, &crRep.CostReport, crProd,
+		fmt.Sprintf("%d full restart(s)", crRep.Restarts))
+	w.Flush()
+
+	fmt.Println("\nthe paper's claim in one line: the coded algorithm matches the plain run's")
+	fmt.Println("work within (1+o(1)) and needs only f·(2k-1)+f·P/(2k-1) spare processors,")
+	fmt.Println("while replication needs f·P spares and checkpoint-restart recomputes.")
+}

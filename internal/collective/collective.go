@@ -1,0 +1,270 @@
+// Package collective implements the collective communication operations the
+// parallel Toom-Cook algorithms rely on (Section 2.4 of the paper):
+// broadcast, reduce, all-reduce and gather over arbitrary processor groups
+// of the simulated machine, plus the all-to-all personalized exchange that a
+// BFS step performs within each grid row.
+//
+// Reduce and broadcast use binomial trees, giving the O(log g) latency and
+// O(W) bandwidth shapes of Lemma 2.5 / Corollary 2.6 within a group of g
+// processors. All collectives are SPMD: every member of the group must call
+// the operation with the same group, root and tag.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Group is an ordered list of processor ranks participating in a collective.
+type Group []int
+
+// Index returns the position of rank id in the group, or -1.
+func (g Group) Index(id int) int {
+	for i, r := range g {
+		if r == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// SumWork returns the word-operation count of element-wise adding two
+// integer vectors (the reduce combiner's F charge).
+func SumWork(a, b machine.Ints) int64 {
+	var w int64
+	for i := range a {
+		la := int64(a[i].WordLen())
+		if i < len(b) {
+			if lb := int64(b[i].WordLen()); lb > la {
+				la = lb
+			}
+		}
+		if la == 0 {
+			la = 1
+		}
+		w += la
+	}
+	return w
+}
+
+// sum element-wise adds two equal-length integer vectors.
+func sum(a, b machine.Ints) (machine.Ints, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("collective: vector length mismatch %d vs %d", len(a), len(b))
+	}
+	out := make(machine.Ints, len(a))
+	for i := range a {
+		out[i] = a[i].Add(b[i])
+	}
+	return out, nil
+}
+
+// Broadcast sends v from the group's root (given as a group index) to every
+// member, over a binomial tree. Every member returns the broadcast vector.
+func Broadcast(p *machine.Proc, g Group, rootIdx int, tag string, v machine.Ints) (machine.Ints, error) {
+	n := len(g)
+	me := g.Index(p.ID())
+	if me < 0 {
+		return nil, fmt.Errorf("collective: proc %d not in group", p.ID())
+	}
+	if rootIdx < 0 || rootIdx >= n {
+		return nil, fmt.Errorf("collective: root index %d out of range", rootIdx)
+	}
+	r := (me - rootIdx + n) % n // virtual rank, root at 0
+	cur := v
+	// Receive once from the appropriate ancestor, then forward.
+	recvMask := 0
+	for mask := 1; mask < n; mask <<= 1 {
+		if r >= mask && r < mask<<1 {
+			recvMask = mask
+			break
+		}
+	}
+	if r != 0 {
+		src := (r - recvMask + rootIdx) % n
+		got, err := p.RecvInts(g[src], tag)
+		if err != nil {
+			return nil, err
+		}
+		cur = got
+	}
+	start := recvMask << 1
+	if r == 0 {
+		start = 1
+	}
+	for mask := start; mask < n; mask <<= 1 {
+		dst := r + mask
+		if dst < n {
+			if err := p.Send(g[(dst+rootIdx)%n], tag, cur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+// Reduce element-wise sums every member's vector at the root (group index).
+// The root returns the total; other members return nil.
+func Reduce(p *machine.Proc, g Group, rootIdx int, tag string, mine machine.Ints) (machine.Ints, error) {
+	n := len(g)
+	me := g.Index(p.ID())
+	if me < 0 {
+		return nil, fmt.Errorf("collective: proc %d not in group", p.ID())
+	}
+	if rootIdx < 0 || rootIdx >= n {
+		return nil, fmt.Errorf("collective: root index %d out of range", rootIdx)
+	}
+	r := (me - rootIdx + n) % n
+	acc := mine
+	// Binomial tree reduction: at round `mask`, ranks with bit `mask` set
+	// send their partial to rank r-mask, then retire.
+	for mask := 1; mask < n; mask <<= 1 {
+		if r&mask != 0 {
+			dst := (r - mask + rootIdx) % n
+			return nil, p.Send(g[dst], tag, acc)
+		}
+		src := r + mask
+		if src < n {
+			got, err := p.RecvInts(g[(src+rootIdx)%n], tag)
+			if err != nil {
+				return nil, err
+			}
+			p.Work(SumWork(acc, got))
+			var serr error
+			acc, serr = sum(acc, got)
+			if serr != nil {
+				return nil, serr
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllReduce is Reduce followed by Broadcast: every member returns the sum.
+func AllReduce(p *machine.Proc, g Group, tag string, mine machine.Ints) (machine.Ints, error) {
+	total, err := Reduce(p, g, 0, tag+"/r", mine)
+	if err != nil {
+		return nil, err
+	}
+	return Broadcast(p, g, 0, tag+"/b", total)
+}
+
+// Gather collects every member's vector at the root (group index), in group
+// order. The root returns the list; other members return nil.
+func Gather(p *machine.Proc, g Group, rootIdx int, tag string, mine machine.Ints) ([]machine.Ints, error) {
+	n := len(g)
+	me := g.Index(p.ID())
+	if me < 0 {
+		return nil, fmt.Errorf("collective: proc %d not in group", p.ID())
+	}
+	if me != rootIdx {
+		return nil, p.Send(g[rootIdx], tag, mine)
+	}
+	out := make([]machine.Ints, n)
+	out[me] = mine
+	for i := 0; i < n; i++ {
+		if i == me {
+			continue
+		}
+		got, err := p.RecvInts(g[i], tag)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = got
+	}
+	return out, nil
+}
+
+// Exchange performs an all-to-all personalized exchange within the group:
+// outgoing[i] is delivered to group member i; the returned slice holds the
+// vector received from each member (my own entry passes through untouched).
+// This is the within-row redistribution of a parallel Toom-Cook BFS step.
+func Exchange(p *machine.Proc, g Group, tag string, outgoing []machine.Ints) ([]machine.Ints, error) {
+	n := len(g)
+	if len(outgoing) != n {
+		return nil, fmt.Errorf("collective: Exchange needs %d outgoing vectors, got %d", n, len(outgoing))
+	}
+	me := g.Index(p.ID())
+	if me < 0 {
+		return nil, fmt.Errorf("collective: proc %d not in group", p.ID())
+	}
+	incoming := make([]machine.Ints, n)
+	incoming[me] = outgoing[me]
+	// Round-robin schedule: in round d, send to me+d and receive from me-d,
+	// keeping the pairwise channels deadlock-free and the load balanced.
+	for d := 1; d < n; d++ {
+		dst := (me + d) % n
+		src := (me - d + n) % n
+		if err := p.Send(g[dst], tag, outgoing[dst]); err != nil {
+			return nil, err
+		}
+		got, err := p.RecvInts(g[src], tag)
+		if err != nil {
+			return nil, err
+		}
+		incoming[src] = got
+	}
+	return incoming, nil
+}
+
+// MultiReduce performs t simultaneous sum-reduces (the t-reduce of
+// Lemma 2.5): contribution vector i is reduced to the group member i mod
+// |g| (round-robin roots spread the root load, the essence of the
+// Sanders-Sibeyn/Birnbaum-Schwartz construction). Because each member sends
+// at most one message per reduce and the trees overlap, the critical-path
+// message count is O(t + log g) rather than t·O(log g). The return maps
+// reduce index → total for the reduces this processor roots.
+func MultiReduce(p *machine.Proc, g Group, tag string, contribs []machine.Ints) (map[int]machine.Ints, error) {
+	out := map[int]machine.Ints{}
+	for i, mine := range contribs {
+		root := i % len(g)
+		total, err := Reduce(p, g, root, fmt.Sprintf("%s/%d", tag, i), mine)
+		if err != nil {
+			return nil, err
+		}
+		if g.Index(p.ID()) == root {
+			out[i] = total
+		}
+	}
+	return out, nil
+}
+
+// MultiBroadcast performs t simultaneous broadcasts (the t-broadcast of
+// Corollary 2.6): value i originates at group member i mod |g|; only the
+// origin's `values[i]` is consulted. Every member returns all t vectors.
+func MultiBroadcast(p *machine.Proc, g Group, tag string, values []machine.Ints) ([]machine.Ints, error) {
+	out := make([]machine.Ints, len(values))
+	for i := range values {
+		root := i % len(g)
+		var mine machine.Ints
+		if g.Index(p.ID()) == root {
+			mine = values[i]
+		}
+		got, err := Broadcast(p, g, root, fmt.Sprintf("%s/%d", tag, i), mine)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = got
+	}
+	return out, nil
+}
+
+// WeightedReduce computes Σ_i weight_i·vector_i at the root: each member
+// scales its vector locally (charging the scaling work), then joins a plain
+// sum-reduce. This is exactly the code-creation operation of Section 4.1,
+// where code processor weights are Vandermonde powers η^l.
+func WeightedReduce(p *machine.Proc, g Group, rootIdx int, tag string, mine machine.Ints, weight int64) (machine.Ints, error) {
+	scaled := make(machine.Ints, len(mine))
+	var work int64
+	for i := range mine {
+		scaled[i] = mine[i].MulInt64(weight)
+		l := int64(mine[i].WordLen())
+		if l == 0 {
+			l = 1
+		}
+		work += l
+	}
+	p.Work(work)
+	return Reduce(p, g, rootIdx, tag, scaled)
+}

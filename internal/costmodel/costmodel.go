@@ -1,0 +1,161 @@
+// Package costmodel provides the closed-form cost predictions of the
+// paper's Section 5: arithmetic (F), bandwidth (BW) and latency (L) costs of
+// Parallel Toom-Cook (Theorem 5.1), Fault-Tolerant Toom-Cook (Theorem 5.2)
+// and Toom-Cook with Replication (Theorem 5.3), in both the unlimited- and
+// limited-memory regimes, plus the processor-count overheads of Tables 1–2.
+//
+// The formulas are asymptotic (Θ-shapes with unit constants); the experiment
+// harness uses them to check that measured costs *scale* as predicted, not
+// to match absolute values.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes a problem instance in the paper's terms.
+type Params struct {
+	N int64 // input size in words
+	P int   // processor count
+	K int   // Toom-Cook split number
+	M int64 // per-processor memory in words; 0 = unlimited
+	F int   // fault tolerance target f (for FT and replication variants)
+}
+
+// Costs is an asymptotic cost triple.
+type Costs struct {
+	F  float64 // arithmetic operations
+	BW float64 // words communicated (per processor, critical path)
+	L  float64 // messages (per processor, critical path)
+}
+
+// omega returns the Toom-Cook exponent log_k(2k-1).
+func omega(k int) float64 {
+	return math.Log(float64(2*k-1)) / math.Log(float64(k))
+}
+
+// Exponent exposes ω = log_k(2k-1), the arithmetic exponent of Toom-Cook-k.
+func Exponent(k int) float64 { return omega(k) }
+
+// gridExponent returns log_{2k-1}(k), the bandwidth exponent of Theorem 5.1.
+func gridExponent(k int) float64 {
+	return math.Log(float64(k)) / math.Log(float64(2*k-1))
+}
+
+// Unlimited reports whether the memory budget is in the paper's
+// unlimited-memory regime: M = Ω(n / P^{log_{2k-1}k}).
+func (p Params) Unlimited() bool {
+	if p.M <= 0 {
+		return true
+	}
+	need := float64(p.N) / math.Pow(float64(p.P), gridExponent(p.K))
+	return float64(p.M) >= need
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("costmodel: need N >= 1")
+	}
+	if p.P < 1 {
+		return fmt.Errorf("costmodel: need P >= 1")
+	}
+	if p.K < 2 {
+		return fmt.Errorf("costmodel: need K >= 2")
+	}
+	if p.M < 0 || p.F < 0 {
+		return fmt.Errorf("costmodel: negative M or F")
+	}
+	return nil
+}
+
+// ParallelToomCook returns the Theorem 5.1 cost shapes of the (non
+// fault-tolerant) Parallel Toom-Cook algorithm.
+func ParallelToomCook(p Params) (Costs, error) {
+	if err := p.Validate(); err != nil {
+		return Costs{}, err
+	}
+	n := float64(p.N)
+	pf := float64(p.P)
+	w := omega(p.K)
+	logP := math.Log2(pf)
+	if logP < 1 {
+		logP = 1
+	}
+	arith := math.Pow(n, w) / pf
+	if p.Unlimited() {
+		return Costs{
+			F:  arith,
+			BW: n / math.Pow(pf, gridExponent(p.K)),
+			L:  logP,
+		}, nil
+	}
+	m := float64(p.M)
+	reps := math.Pow(n/m, w) // (n/M)^{log_k(2k-1)}
+	return Costs{
+		F:  arith,
+		BW: reps * m / pf,
+		L:  reps * logP / pf,
+	}, nil
+}
+
+// FaultTolerant returns the Theorem 5.2 cost shapes of Fault-Tolerant
+// Toom-Cook: (1+o(1)) of Parallel Toom-Cook. The o(1) terms are the code
+// creation and recovery costs, which we expose separately so the harness
+// can check they vanish relative to the base costs.
+func FaultTolerant(p Params) (base Costs, overhead Costs, err error) {
+	base, err = ParallelToomCook(p)
+	if err != nil {
+		return Costs{}, Costs{}, err
+	}
+	f := float64(p.F)
+	m := float64(p.M)
+	if p.M <= 0 {
+		// Unlimited memory: the linear code protects the per-processor
+		// footprint n/P^{log_{2k-1}k}.
+		m = float64(p.N) / math.Pow(float64(p.P), gridExponent(p.K))
+	}
+	logTerm := math.Log2(float64(p.P)/float64(2*p.K-1) + f + 2)
+	// Code creation + fault recovery: O(f·M) work and words, O(log(P/(2k-1)+f)) messages
+	// (Section 5.2), plus the widened first step (factor (2k-1+f)/(2k-1), asymptotically absorbed).
+	overhead = Costs{F: f * m, BW: f * m, L: logTerm}
+	return base, overhead, nil
+}
+
+// Replication returns the Theorem 5.3 cost shapes of Toom-Cook with
+// Replication: identical to Parallel Toom-Cook with negligible duplication
+// overhead.
+func Replication(p Params) (base Costs, overhead Costs, err error) {
+	base, err = ParallelToomCook(p)
+	if err != nil {
+		return Costs{}, Costs{}, err
+	}
+	// Replicating the inputs to the f extra fleets costs one broadcast of
+	// the per-processor share.
+	share := float64(p.N) / float64(p.P)
+	overhead = Costs{F: 0, BW: float64(p.F) * share, L: math.Log2(float64(p.P) + 1)}
+	return base, overhead, nil
+}
+
+// ExtraProcessors returns the additional-processor columns of Tables 1 and 2
+// for the three algorithms: plain Parallel Toom-Cook needs none, replication
+// needs f·P, and Fault-Tolerant Toom-Cook needs f·(2k-1) — or only f in the
+// unlimited-memory case with full multi-step traversal (Section 5.2).
+func ExtraProcessors(p Params, multiStep bool) (plain, replication, faultTolerant int) {
+	plain = 0
+	replication = p.F * p.P
+	if multiStep && p.Unlimited() {
+		faultTolerant = p.F
+	} else {
+		faultTolerant = p.F * (2*p.K - 1)
+	}
+	return plain, replication, faultTolerant
+}
+
+// OverheadReduction returns the headline Θ(P/(2k-1)) factor by which
+// Fault-Tolerant Toom-Cook reduces the *additional processor* (and hence
+// redundant work) overhead relative to replication.
+func OverheadReduction(p Params) float64 {
+	return float64(p.P) / float64(2*p.K-1)
+}

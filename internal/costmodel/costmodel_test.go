@@ -1,0 +1,167 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 0, P: 1, K: 2},
+		{N: 1, P: 0, K: 2},
+		{N: 1, P: 1, K: 1},
+		{N: 1, P: 1, K: 2, M: -1},
+		{N: 1, P: 1, K: 2, F: -1},
+	}
+	for i, p := range bad {
+		if _, err := ParallelToomCook(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestExponent(t *testing.T) {
+	// Karatsuba: log_2 3 ≈ 1.585; Toom-3: log_3 5 ≈ 1.465.
+	if got := Exponent(2); math.Abs(got-1.585) > 0.01 {
+		t.Errorf("Exponent(2) = %v", got)
+	}
+	if got := Exponent(3); math.Abs(got-1.465) > 0.01 {
+		t.Errorf("Exponent(3) = %v", got)
+	}
+	// Exponent decreases with k (faster algorithms).
+	if Exponent(4) >= Exponent(3) || Exponent(5) >= Exponent(4) {
+		t.Error("exponent should decrease with k")
+	}
+}
+
+func TestUnlimitedRegime(t *testing.T) {
+	p := Params{N: 1 << 20, P: 9, K: 2}
+	if !p.Unlimited() {
+		t.Error("M=0 should be unlimited")
+	}
+	p.M = 1 << 19 // ≥ n/P^{log_3 2} ≈ n/4
+	if !p.Unlimited() {
+		t.Error("large M should be unlimited")
+	}
+	p.M = 1 << 10
+	if p.Unlimited() {
+		t.Error("tiny M should be limited")
+	}
+}
+
+func TestParallelCostShapes(t *testing.T) {
+	// F scales as n^ω/P.
+	base := Params{N: 1 << 16, P: 9, K: 2}
+	c1, err := ParallelToomCook(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := base
+	doubled.N *= 2
+	c2, _ := ParallelToomCook(doubled)
+	wantRatio := math.Pow(2, Exponent(2))
+	if r := c2.F / c1.F; math.Abs(r-wantRatio) > 0.01 {
+		t.Errorf("F ratio on doubling n = %v, want %v", r, wantRatio)
+	}
+	// BW decreases with P (unlimited memory).
+	moreP := base
+	moreP.P = 27
+	c3, _ := ParallelToomCook(moreP)
+	if c3.BW >= c1.BW {
+		t.Error("BW should decrease with P")
+	}
+	if c3.L <= c1.L {
+		t.Error("L should grow (logarithmically) with P")
+	}
+}
+
+func TestLimitedMemoryCosts(t *testing.T) {
+	p := Params{N: 1 << 20, P: 9, K: 2, M: 1 << 10}
+	cLim, err := ParallelToomCook(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.M = 0
+	cUnl, _ := ParallelToomCook(p2)
+	// Limited memory costs strictly more communication.
+	if cLim.BW <= cUnl.BW {
+		t.Errorf("limited-memory BW (%v) should exceed unlimited (%v)", cLim.BW, cUnl.BW)
+	}
+	if cLim.L <= cUnl.L {
+		t.Errorf("limited-memory L (%v) should exceed unlimited (%v)", cLim.L, cUnl.L)
+	}
+	// Arithmetic is memory-independent.
+	if cLim.F != cUnl.F {
+		t.Error("F should not depend on M")
+	}
+}
+
+func TestFaultTolerantOverheadVanishes(t *testing.T) {
+	// (1+o(1)): overhead/base → 0 as n grows with fixed P, f.
+	small := Params{N: 1 << 12, P: 9, K: 2, F: 2}
+	large := Params{N: 1 << 24, P: 9, K: 2, F: 2}
+	bs, os, err := FaultTolerant(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, ol, _ := FaultTolerant(large)
+	rs := os.F / bs.F
+	rl := ol.F / bl.F
+	if rl >= rs {
+		t.Errorf("FT overhead fraction should shrink with n: %v -> %v", rs, rl)
+	}
+	if rl > 0.01 {
+		t.Errorf("FT overhead fraction at large n = %v, want o(1)", rl)
+	}
+}
+
+func TestReplicationOverhead(t *testing.T) {
+	p := Params{N: 1 << 20, P: 9, K: 2, F: 2}
+	base, over, err := Replication(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.F != 0 {
+		t.Error("replication adds no arithmetic")
+	}
+	if over.BW >= base.BW {
+		t.Error("replication BW overhead should be lower-order")
+	}
+}
+
+func TestExtraProcessorsTableColumns(t *testing.T) {
+	p := Params{N: 1 << 20, P: 27, K: 2, F: 2}
+	plain, repl, ft := ExtraProcessors(p, false)
+	if plain != 0 {
+		t.Errorf("plain = %d", plain)
+	}
+	if repl != 2*27 {
+		t.Errorf("replication = %d, want f·P = 54", repl)
+	}
+	if ft != 2*3 {
+		t.Errorf("FT = %d, want f·(2k-1) = 6", ft)
+	}
+	// Multi-step traversal in the unlimited-memory case: only f.
+	_, _, ftMulti := ExtraProcessors(p, true)
+	if ftMulti != 2 {
+		t.Errorf("FT multi-step = %d, want f = 2", ftMulti)
+	}
+	// Limited memory: multi-step does not help.
+	pLim := p
+	pLim.M = 4
+	_, _, ftLim := ExtraProcessors(pLim, true)
+	if ftLim != 6 {
+		t.Errorf("FT multi-step limited = %d, want f·(2k-1)", ftLim)
+	}
+}
+
+func TestHeadlineReduction(t *testing.T) {
+	// The Θ(P/(2k-1)) headline: ratio of replication extra processors to FT
+	// extra processors.
+	p := Params{N: 1, P: 125, K: 3, F: 1}
+	_, repl, ft := ExtraProcessors(p, false)
+	if got, want := float64(repl)/float64(ft), OverheadReduction(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("reduction = %v, want %v", got, want)
+	}
+}

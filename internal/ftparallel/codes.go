@@ -1,0 +1,482 @@
+package ftparallel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bigint"
+	"repro/internal/collective"
+	"repro/internal/machine"
+	"repro/internal/mat"
+	"repro/internal/rat"
+)
+
+// procCtx is the per-processor durable context: the data the linear code
+// protects. On a fault the victim's copy is conceptually lost; recovery
+// protocols restore it (and charge the restoration).
+type procCtx struct {
+	topA, topB []bigint.Int // workers: top-level input shares
+	topCode    []bigint.Int // linear-code processors: encoded column inputs
+}
+
+func zeroVec(n int) machine.Ints {
+	v := make(machine.Ints, n)
+	for i := range v {
+		v[i] = bigint.Zero()
+	}
+	return v
+}
+
+// inputVecLen is the length of the concatenated per-worker input vector.
+func (e *engine) inputVecLen() int { return 2 * e.digits / e.lay.P }
+
+// columnGroupWithRoot builds the reduce group for column j's code row i:
+// the given worker rows (ascending) followed by the root rank.
+func (e *engine) columnGroupWithRoot(j int, rows []int, root int) collective.Group {
+	g := make(collective.Group, 0, len(rows)+1)
+	for _, r := range rows {
+		g = append(g, e.lay.Worker(r, j))
+	}
+	return append(g, root)
+}
+
+// createInputCode runs the paper's code creation (Section 4.1): each column
+// of workers encodes its input data onto the f code processors below it with
+// Vandermonde-weighted reduces. Workers pass their input shares; code
+// processors receive their codeword; other ranks return nil.
+func (e *engine) createInputCode(p *machine.Proc, myA, myB []bigint.Int) ([]bigint.Int, error) {
+	if e.code == nil {
+		return nil, nil
+	}
+	lay := e.lay
+	rank := p.ID()
+	allRows := seq(lay.GPrime)
+	var myCode []bigint.Int
+	for i := 0; i < lay.F; i++ {
+		for j := 0; j < lay.Cols(); j++ {
+			root := lay.LinearCode(i, j)
+			isWorker := rank < lay.P && rank/lay.GPrime == j
+			if !isWorker && rank != root {
+				continue
+			}
+			group := e.columnGroupWithRoot(j, allRows, root)
+			tag := fmt.Sprintf("code1/%d/%d", i, j)
+			var mine machine.Ints
+			var weight int64
+			if isWorker {
+				mine = machine.Ints(concat(myA, myB))
+				weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+			} else {
+				mine = zeroVec(e.inputVecLen())
+			}
+			got, err := collective.WeightedReduce(p, group, len(group)-1, tag, mine, weight)
+			if err != nil {
+				return nil, err
+			}
+			if rank == root {
+				myCode = []bigint.Int(got)
+			}
+		}
+	}
+	return myCode, nil
+}
+
+// recoverInputs repairs input data lost to the fault events: each affected
+// column rebuilds its victims' shares from the survivors and the code
+// processors via reduces and one small exact solve (Section 4.1, "Fault
+// recovery"); dead code processors are then re-encoded. The victim's
+// restored shares are written back into ctx.
+func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *procCtx) error {
+	if len(ev) == 0 || e.code == nil {
+		return nil
+	}
+	lay := e.lay
+	rank := p.ID()
+
+	// Partition victims: workers by column; linear-code casualties.
+	victimRows := map[int][]int{} // column -> dead worker rows
+	deadCode := map[[2]int]bool{} // (code row, column)
+	for _, f := range ev {
+		switch {
+		case f.Proc < lay.P:
+			c := f.Proc / lay.GPrime
+			victimRows[c] = append(victimRows[c], f.Proc%lay.GPrime)
+		case f.Proc < lay.P+lay.F*lay.Cols():
+			idx := f.Proc - lay.P
+			deadCode[[2]int{idx / lay.Cols(), idx % lay.Cols()}] = true
+		}
+	}
+	cols := make([]int, 0, len(victimRows))
+	for c := range victimRows {
+		sort.Ints(victimRows[c])
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+
+	for _, j := range cols {
+		dead := victimRows[j]
+		alive := complement(lay.GPrime, dead)
+		var codeRows []int
+		for i := 0; i < lay.F && len(codeRows) < len(dead); i++ {
+			if !deadCode[[2]int{i, j}] {
+				codeRows = append(codeRows, i)
+			}
+		}
+		if len(codeRows) < len(dead) {
+			return fmt.Errorf("ftparallel: column %d lost %d workers with only %d live code rows", j, len(dead), len(codeRows))
+		}
+		leader := lay.Worker(dead[0], j)
+		amLeader := rank == leader
+		inColumn := rank < lay.P && rank/lay.GPrime == j
+
+		// Residual reduces: Σ_{alive r} η_i^r·x_r to the leader, plus the
+		// codeword from the code processor; leader computes residuals.
+		var residuals [][]bigint.Int
+		for idx, i := range codeRows {
+			root := leader
+			group := e.columnGroupWithRoot(j, alive, root)
+			tag := fmt.Sprintf("rec1/%d/%d", i, j)
+			participates := amLeader || (inColumn && containsInt(alive, rank%lay.GPrime))
+			if participates {
+				var mine machine.Ints
+				var weight int64
+				if amLeader {
+					mine = zeroVec(e.inputVecLen())
+				} else {
+					mine = machine.Ints(concat(ctx.topA, ctx.topB))
+					weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+				}
+				got, err := collective.WeightedReduce(p, group, len(group)-1, tag, mine, weight)
+				if err != nil {
+					return err
+				}
+				if amLeader {
+					residuals = append(residuals, got)
+				}
+			}
+			codeProc := lay.LinearCode(i, j)
+			if rank == codeProc {
+				if err := p.Send(leader, tag+"/cw", machine.Ints(ctx.topCode)); err != nil {
+					return err
+				}
+			}
+			if amLeader {
+				cw, err := p.RecvInts(codeProc, tag+"/cw")
+				if err != nil {
+					return err
+				}
+				for t := range residuals[idx] {
+					residuals[idx][t] = cw[t].Sub(residuals[idx][t])
+				}
+				p.Work(int64(len(cw)))
+			}
+		}
+
+		// Leader solves the Vandermonde minor and distributes the shares.
+		if amLeader {
+			shares, err := e.solveMinor(p, codeRows, dead, residuals)
+			if err != nil {
+				return err
+			}
+			for vi, r := range dead {
+				target := lay.Worker(r, j)
+				if target == leader {
+					half := len(shares[vi]) / 2
+					ctx.topA = shares[vi][:half]
+					ctx.topB = shares[vi][half:]
+					continue
+				}
+				if err := p.Send(target, fmt.Sprintf("rec1/share/%d", j), machine.Ints(shares[vi])); err != nil {
+					return err
+				}
+			}
+		} else if inColumn && containsInt(dead, rank%lay.GPrime) {
+			got, err := p.RecvInts(leader, fmt.Sprintf("rec1/share/%d", j))
+			if err != nil {
+				return err
+			}
+			half := len(got) / 2
+			ctx.topA = got[:half]
+			ctx.topB = got[half:]
+		}
+	}
+
+	// Re-encode columns whose code processors died (their codewords are
+	// gone); victims' shares are restored by now, so the full column can
+	// re-run code creation for the affected rows.
+	keys := make([][2]int, 0, len(deadCode))
+	for key := range deadCode {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		i, j := key[0], key[1]
+		root := lay.LinearCode(i, j)
+		isWorker := rank < lay.P && rank/lay.GPrime == j
+		if !isWorker && rank != root {
+			continue
+		}
+		group := e.columnGroupWithRoot(j, seq(lay.GPrime), root)
+		tag := fmt.Sprintf("reenc1/%d/%d", i, j)
+		var mine machine.Ints
+		var weight int64
+		if isWorker {
+			mine = machine.Ints(concat(ctx.topA, ctx.topB))
+			weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+		} else {
+			mine = zeroVec(e.inputVecLen())
+		}
+		got, err := collective.WeightedReduce(p, group, len(group)-1, tag, mine, weight)
+		if err != nil {
+			return err
+		}
+		if rank == root {
+			ctx.topCode = []bigint.Int(got)
+		}
+	}
+	return nil
+}
+
+// createProductCode re-creates the linear code over the child products of
+// the live worker columns ("Each BFS step initiates a new code creation
+// process"), protecting the interpolation stage. It returns the code
+// processor's product codeword (nil elsewhere).
+func (e *engine) createProductCode(p *machine.Proc, deadCols map[int]bool, childProd []bigint.Int, tag string) ([]bigint.Int, error) {
+	if e.code == nil {
+		return nil, nil
+	}
+	lay := e.lay
+	rank := p.ID()
+	prodLen := e.productShareLen()
+	var myCode []bigint.Int
+	for i := 0; i < lay.F; i++ {
+		for j := 0; j < lay.Cols(); j++ {
+			if deadCols[j] {
+				continue
+			}
+			root := lay.LinearCode(i, j)
+			isWorker := rank < lay.P && rank/lay.GPrime == j
+			if !isWorker && rank != root {
+				continue
+			}
+			group := e.columnGroupWithRoot(j, seq(lay.GPrime), root)
+			rtag := fmt.Sprintf("%s/code2/%d/%d", tag, i, j)
+			var mine machine.Ints
+			var weight int64
+			if isWorker {
+				mine = machine.Ints(childProd)
+				weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+			} else {
+				mine = zeroVec(prodLen)
+			}
+			got, err := collective.WeightedReduce(p, group, len(group)-1, rtag, mine, weight)
+			if err != nil {
+				return nil, err
+			}
+			if rank == root {
+				myCode = []bigint.Int(got)
+			}
+		}
+	}
+	return myCode, nil
+}
+
+// productShareLen is the per-processor child-product share length at the
+// coded BFS step.
+func (e *engine) productShareLen() int {
+	k := e.alg.K()
+	lenTotal := e.digits / pow(k, e.ldfs)
+	return 2 * lenTotal / (k * e.lay.GPrime)
+}
+
+// recoverProducts repairs child-product shares lost at the interpolation
+// stage for victims in live worker columns, using the freshly created
+// product code. The victim's restored share is returned (others pass
+// through unchanged).
+func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadCols map[int]bool, childProd, prodCode []bigint.Int, tag string) ([]bigint.Int, []bigint.Int, error) {
+	if len(ev) == 0 || e.code == nil {
+		return childProd, prodCode, nil
+	}
+	lay := e.lay
+	rank := p.ID()
+	victimRows := map[int][]int{}
+	deadCode := map[[2]int]bool{}
+	for _, f := range ev {
+		switch {
+		case f.Proc < lay.P:
+			c := f.Proc / lay.GPrime
+			if !deadCols[c] {
+				victimRows[c] = append(victimRows[c], f.Proc%lay.GPrime)
+			}
+		case f.Proc < lay.P+lay.F*lay.Cols():
+			idx := f.Proc - lay.P
+			deadCode[[2]int{idx / lay.Cols(), idx % lay.Cols()}] = true
+		}
+	}
+	cols := make([]int, 0, len(victimRows))
+	for c := range victimRows {
+		sort.Ints(victimRows[c])
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	prodLen := e.productShareLen()
+
+	for _, j := range cols {
+		dead := victimRows[j]
+		alive := complement(lay.GPrime, dead)
+		var codeRows []int
+		for i := 0; i < lay.F && len(codeRows) < len(dead); i++ {
+			if !deadCode[[2]int{i, j}] {
+				codeRows = append(codeRows, i)
+			}
+		}
+		if len(codeRows) < len(dead) {
+			return nil, nil, fmt.Errorf("ftparallel: column %d lost %d product shares with only %d live code rows", j, len(dead), len(codeRows))
+		}
+		leader := lay.Worker(dead[0], j)
+		amLeader := rank == leader
+		inColumn := rank < lay.P && rank/lay.GPrime == j
+
+		var residuals [][]bigint.Int
+		for idx, i := range codeRows {
+			group := e.columnGroupWithRoot(j, alive, leader)
+			rtag := fmt.Sprintf("%s/rec2/%d/%d", tag, i, j)
+			participates := amLeader || (inColumn && containsInt(alive, rank%lay.GPrime))
+			if participates {
+				var mine machine.Ints
+				var weight int64
+				if amLeader {
+					mine = zeroVec(prodLen)
+				} else {
+					mine = machine.Ints(childProd)
+					weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+				}
+				got, err := collective.WeightedReduce(p, group, len(group)-1, rtag, mine, weight)
+				if err != nil {
+					return nil, nil, err
+				}
+				if amLeader {
+					residuals = append(residuals, got)
+				}
+			}
+			codeProc := lay.LinearCode(i, j)
+			if rank == codeProc {
+				if err := p.Send(leader, rtag+"/cw", machine.Ints(prodCode)); err != nil {
+					return nil, nil, err
+				}
+			}
+			if amLeader {
+				cw, err := p.RecvInts(codeProc, rtag+"/cw")
+				if err != nil {
+					return nil, nil, err
+				}
+				for t := range residuals[idx] {
+					residuals[idx][t] = cw[t].Sub(residuals[idx][t])
+				}
+				p.Work(int64(len(cw)))
+			}
+		}
+		if amLeader {
+			shares, err := e.solveMinor(p, codeRows, dead, residuals)
+			if err != nil {
+				return nil, nil, err
+			}
+			for vi, r := range dead {
+				target := lay.Worker(r, j)
+				if target == leader {
+					childProd = shares[vi]
+					continue
+				}
+				if err := p.Send(target, fmt.Sprintf("%s/rec2/share/%d", tag, j), machine.Ints(shares[vi])); err != nil {
+					return nil, nil, err
+				}
+			}
+		} else if inColumn && containsInt(dead, rank%lay.GPrime) {
+			got, err := p.RecvInts(leader, fmt.Sprintf("%s/rec2/share/%d", tag, j))
+			if err != nil {
+				return nil, nil, err
+			}
+			childProd = []bigint.Int(got)
+		}
+	}
+	return childProd, prodCode, nil
+}
+
+// solveMinor solves the s×s Vandermonde-minor system: given residuals
+// residual_i = Σ_{v} η_i^{r_v}·x_v for the live code rows i and dead rows
+// r_v, it returns the x_v vectors. The minor is invertible by the MDS
+// property (Definition 2.7) and the solution is exactly integral.
+func (e *engine) solveMinor(p *machine.Proc, codeRows, deadRows []int, residuals [][]bigint.Int) ([][]bigint.Int, error) {
+	s := len(deadRows)
+	a := mat.New(s, s)
+	for i := 0; i < s; i++ {
+		row := e.code.RedundancyRow(codeRows[i])
+		for v := 0; v < s; v++ {
+			a.Set(i, v, rat.FromInt64(row[deadRows[v]]))
+		}
+	}
+	inv, err := a.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("ftparallel: decode minor singular: %w", err)
+	}
+	width := len(residuals[0])
+	out := make([][]bigint.Int, s)
+	var work int64
+	for v := 0; v < s; v++ {
+		vec := make([]bigint.Int, width)
+		for t := 0; t < width; t++ {
+			acc := rat.Zero()
+			for i := 0; i < s; i++ {
+				c := inv.At(v, i)
+				if c.IsZero() || residuals[i][t].IsZero() {
+					continue
+				}
+				acc = acc.Add(c.MulInt(residuals[i][t]))
+				work += wordsOf(residuals[i][t])
+			}
+			if !acc.IsInt() {
+				return nil, fmt.Errorf("ftparallel: non-integral decode (corrupted data?)")
+			}
+			vec[t] = acc.Int()
+		}
+		out[v] = vec
+	}
+	p.Work(work)
+	return out, nil
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func complement(n int, exclude []int) []int {
+	ex := map[int]bool{}
+	for _, v := range exclude {
+		ex[v] = true
+	}
+	out := make([]int, 0, n-len(exclude))
+	for i := 0; i < n; i++ {
+		if !ex[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,880 @@
+package ftparallel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bigint"
+	"repro/internal/collective"
+	"repro/internal/erasure"
+	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/points"
+	"repro/internal/toom"
+)
+
+// Options configures a fault-tolerant parallel multiplication.
+type Options struct {
+	// Alg is the Toom-Cook-k bilinear form.
+	Alg *toom.Algorithm
+	// P is the worker count; must be a power of 2k-1. Code processors are
+	// added on top (Layout.ExtraProcessors).
+	P int
+	// F is the number of faults to tolerate.
+	F int
+	// DFSSteps is the sequential prefix (limited-memory case, Lemma 3.1).
+	DFSSteps int
+	// LeafFactor as in parallel.Options.
+	LeafFactor int
+	// Machine configures α/β/γ and memory; Machine.P is overridden.
+	Machine machine.Config
+	// Faults is the injection plan. Valid phases: PhaseEval (input data
+	// lost, recovered by the linear code), PhaseMul (product lost, column
+	// halted under the polynomial code), PhaseInterp (product data lost,
+	// recovered by the re-created linear code). With DFS steps, hit h of
+	// PhaseMul/PhaseInterp addresses the h-th sub-problem barrier.
+	Faults []machine.Fault
+
+	// DropStragglers switches the engine into delay-fault mitigation mode
+	// (the paper's third fault category): the redundant evaluation-point
+	// columns absorb *slow* processors instead of dead ones. Each grid row
+	// elects its first column as decider; after its own sub-problem the
+	// decider waits StragglerSlack virtual time units for the other
+	// columns' completion reports and interpolates from the first 2k-1
+	// on-time columns. No barriers, no hard-fault injection, no linear
+	// coding in this mode — combine Machine.SpeedFactors with it.
+	DropStragglers bool
+	// StragglerSlack is the decider's deadline slack in virtual time units
+	// (required > 0 when DropStragglers is set).
+	StragglerSlack float64
+}
+
+// Result reports a fault-tolerant run.
+type Result struct {
+	Product bigint.Int
+	Report  *machine.Report
+	Layout  Layout
+	// DeadColumns lists extended-grid columns halted by multiplication-
+	// phase faults (across all DFS sub-problems).
+	DeadColumns []int
+	// Recovered counts data-loss events repaired by the linear code.
+	Recovered int
+}
+
+// engine carries the per-run immutable state shared by all processors.
+type engine struct {
+	lay    Layout
+	plan   *parallel.Plan
+	alg    *toom.Algorithm
+	code   *erasure.Code
+	pts    []points.Point // 2k-1+f extended evaluation points
+	uExt   [][]int64      // (2k-1+f)×k extended evaluation matrix
+	ldfs   int
+	levels int
+	shift  int
+	digits int
+
+	dropStragglers bool
+	slack          float64
+
+	// wScaledFor caches scaled interpolation matrices per surviving set.
+	wCache map[string]wScaled
+	// denLCM is the least common multiple of the interpolation denominators
+	// over every possible surviving point set. Each top-level fold scales
+	// its output to this common denominator, so results from different DFS
+	// sub-problems (which may lose different columns) stay compatible; the
+	// final assembly divides it out once. Per-entry division is *not*
+	// exact in the redundant digit representation — only the recomposed
+	// value is divisible — which is why normalization must be deferred.
+	denLCM int64
+}
+
+type wScaled struct {
+	rows [][]int64
+	den  int64
+}
+
+// slotShares maps a virtual slot (0..P-1) to this processor's accumulated
+// share of the product vector for that slot.
+type slotShares map[int][]bigint.Int
+
+// Multiply runs the paper's fault-tolerant parallel Toom-Cook (mixed linear
+// + polynomial coding, Theorem 5.2).
+func Multiply(a, b bigint.Int, opts Options) (*Result, error) {
+	if opts.Alg == nil {
+		return nil, fmt.Errorf("ftparallel: Options.Alg is required")
+	}
+	k := opts.Alg.K()
+	lay, err := NewLayout(opts.P, k, opts.F)
+	if err != nil {
+		return nil, err
+	}
+	pts := points.StandardWithRedundancy(k, opts.F)
+	if err := points.Valid(pts, 2*k-1); err != nil {
+		return nil, fmt.Errorf("ftparallel: redundant point set invalid: %w", err)
+	}
+	uM := points.EvalMatrix(pts, k)
+	uExt, err := toom.IntRows(uM)
+	if err != nil {
+		return nil, fmt.Errorf("ftparallel: extended evaluation matrix: %w", err)
+	}
+	plan, err := parallel.NewPlan(a, b, parallel.Options{
+		Alg:        opts.Alg,
+		P:          opts.P,
+		DFSSteps:   opts.DFSSteps,
+		LeafFactor: opts.LeafFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var code *erasure.Code
+	if opts.F > 0 {
+		code, err = erasure.New(lay.GPrime, opts.F)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.DropStragglers {
+		if opts.StragglerSlack <= 0 {
+			return nil, fmt.Errorf("ftparallel: DropStragglers requires StragglerSlack > 0")
+		}
+		if len(opts.Faults) > 0 {
+			return nil, fmt.Errorf("ftparallel: straggler mode does not combine with hard-fault injection")
+		}
+	}
+	e := &engine{
+		lay:    lay,
+		plan:   plan,
+		alg:    opts.Alg,
+		code:   code,
+		pts:    pts,
+		uExt:   uExt,
+		ldfs:   opts.DFSSteps,
+		levels: plan.Levels(),
+		shift:  plan.Shift(),
+		digits: pow(k, plan.Levels()) * maxInt(opts.LeafFactor, 1) * opts.P,
+		wCache: map[string]wScaled{},
+	}
+	e.dropStragglers = opts.DropStragglers
+	e.slack = opts.StragglerSlack
+	if err := e.computeDenLCM(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Machine
+	cfg.P = lay.Total()
+	m, err := machine.New(cfg, opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]slotShares, lay.Total())
+	deadLog := make([][]int, lay.Total())
+	recovered := make([]int, lay.Total())
+	rep, err := m.Run(func(p *machine.Proc) error {
+		st, dead, rec, err := e.run(p)
+		if err != nil {
+			return err
+		}
+		results[p.ID()] = st
+		deadLog[p.ID()] = dead
+		recovered[p.ID()] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	product, err := e.assemble(results)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Product:   product,
+		Report:    rep,
+		Layout:    lay,
+		Recovered: recovered[0],
+	}
+	res.DeadColumns = deadLog[0]
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// run is the SPMD body. It returns the processor's slot shares, the dead
+// columns it observed, and the number of recoveries it participated in.
+func (e *engine) run(p *machine.Proc) (slotShares, []int, int, error) {
+	lay := e.lay
+	rank := p.ID()
+
+	// Stage 0: inputs + linear code creation (Section 4.1, "Code creation").
+	ctx := &procCtx{}
+	if rank < lay.P {
+		ctx.topA, ctx.topB = e.plan.InputShares(rank)
+	}
+	recovered := 0
+	if !e.dropStragglers {
+		codeword, err := e.createInputCode(p, ctx.topA, ctx.topB)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ctx.topCode = codeword
+
+		// Faults during the evaluation stage lose input data; the linear
+		// code rebuilds it with reduces — no recomputation (Section 4.1).
+		ev := p.Barrier(PhaseEval)
+		if err := e.recoverInputs(p, ev, ctx); err != nil {
+			return nil, nil, 0, err
+		}
+		recovered += countDataLoss(ev)
+	}
+
+	st := &runState{deadSeen: map[int]bool{}}
+	shares, err := e.node(p, 0, nil, ctx.topA, ctx.topB, ctx, st)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	recovered += st.recovered
+	var dead []int
+	for c := range st.deadSeen {
+		dead = append(dead, c)
+	}
+	sort.Ints(dead)
+	return shares, dead, recovered, nil
+}
+
+// runState tracks fault history during the recursion (identical on every
+// processor, since all fault events are globally visible).
+type runState struct {
+	deadSeen  map[int]bool
+	recovered int
+}
+
+func countDataLoss(ev []machine.FaultEvent) int { return len(ev) }
+
+// node handles one recursion level of the fault-tolerant schedule: DFS
+// levels iterate the 2k-1 sub-problems sequentially (each independently
+// protected), and the level at depth ldfs is the coded BFS step.
+func (e *engine) node(p *machine.Proc, level int, dfsPath []int, myA, myB []bigint.Int, ctx *procCtx, st *runState) (slotShares, error) {
+	if level < e.ldfs {
+		return e.dfsLevel(p, level, dfsPath, myA, myB, ctx, st)
+	}
+	return e.bfsStep(p, dfsPath, myA, myB, ctx, st)
+}
+
+// dfsLevel runs the 2k-1 sub-problems sequentially on all processors.
+// Evaluation is local for workers; the interpolation accumulates into
+// per-slot shares. The linear code processors' codewords commute with the
+// (linear) evaluation, so the column code remains decodable at every depth.
+func (e *engine) dfsLevel(p *machine.Proc, level int, dfsPath []int, myA, myB []bigint.Int, ctx *procCtx, st *runState) (slotShares, error) {
+	k := e.alg.K()
+	lay := e.lay
+	lenTotal := e.digits / pow(k, level)
+	lq := lenTotal / (k * lay.P)
+	wNum, _ := e.alg.WScaled()
+
+	acc := slotShares{}
+	for j := 0; j < 2*k-1; j++ {
+		var evalA, evalB []bigint.Int
+		if p.ID() < lay.P {
+			evalA = applyRowBlocks(p, e.alg.U()[j], myA, k)
+			evalB = applyRowBlocks(p, e.alg.U()[j], myB, k)
+		}
+		child, err := e.node(p, level+1, append(dfsPath, j), evalA, evalB, ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		// Accumulate W^T column j into the per-slot coefficient shares.
+		var work int64
+		for slot, share := range child {
+			out, ok := acc[slot]
+			if !ok {
+				out = make([]bigint.Int, 2*lenTotal/lay.P)
+				acc[slot] = out
+			}
+			for i := 0; i < 2*k-1; i++ {
+				c := wNum[i][j]
+				if c == 0 {
+					continue
+				}
+				base := i * lq
+				for s, v := range share {
+					if v.IsZero() {
+						continue
+					}
+					out[base+s] = out[base+s].Add(v.MulInt64(c))
+					work += 2 * wordsOf(v)
+				}
+			}
+		}
+		p.Work(work)
+	}
+	return acc, nil
+}
+
+// bfsStep is the coded parallel step: extended evaluation over 2k-1+f
+// points, plain column subtrees, code re-creation, and interpolation from
+// the surviving columns.
+func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, ctx *procCtx, st *runState) (slotShares, error) {
+	lay := e.lay
+	k := e.alg.K()
+	cols := lay.Cols()
+	numCols := lay.NumColumns()
+	gP := lay.GPrime
+	rank := p.ID()
+	lenTotal := e.digits / pow(k, e.ldfs)
+	tag := pathTag(dfsPath)
+
+	myCol, inGrid := lay.ColumnOf(rank)
+	myRow, _ := lay.RowOf(rank)
+	isWorker := rank < lay.P
+
+	// Extended evaluation and within-row redistribution: workers compute
+	// slices for all 2k-1+f points; column j's slice goes to the row-mate
+	// in extended column j (code columns included — Figure 2).
+	var childA, childB []bigint.Int
+	var selfSlice []bigint.Int
+	if isWorker {
+		for j := 0; j < numCols; j++ {
+			sa := applyRowBlocks(p, e.uExt[j], myA, k)
+			sb := applyRowBlocks(p, e.uExt[j], myB, k)
+			payload := concat(sa, sb)
+			dst := lay.ColumnRank(myRow, j)
+			if dst == rank {
+				selfSlice = payload
+				continue
+			}
+			if err := p.Send(dst, tag+"/down", machine.Ints(payload)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if inGrid {
+		per := lenTotal / (k * lay.P) // entries per received slice, per operand
+		childA = make([]bigint.Int, per*cols)
+		childB = make([]bigint.Int, per*cols)
+		for c := 0; c < cols; c++ {
+			src := lay.Worker(myRow, c)
+			var got machine.Ints
+			if src == rank {
+				got = machine.Ints(selfSlice)
+			} else {
+				var err error
+				got, err = p.RecvInts(src, tag+"/down")
+				if err != nil {
+					return nil, err
+				}
+			}
+			if len(got) != 2*per {
+				return nil, fmt.Errorf("ftparallel: slice length %d, want %d", len(got), 2*per)
+			}
+			for t := 0; t < per; t++ {
+				childA[c+t*cols] = got[t]
+				childB[c+t*cols] = got[per+t]
+			}
+		}
+	}
+
+	// Faults during the multiplication stage: the polynomial code absorbs
+	// them — the affected column is halted (Section 4.2, "Fault recovery":
+	// "we halt the execution of the remaining processors of its column").
+	deadCols := map[int]bool{}
+	if !e.dropStragglers {
+		ev := p.Barrier(PhaseMul)
+		for _, f := range ev {
+			if c, ok := lay.ColumnOf(f.Proc); ok {
+				deadCols[c] = true
+				st.deadSeen[c] = true
+			}
+		}
+		if numCols-len(deadCols) < cols {
+			return nil, fmt.Errorf("ftparallel: %d columns lost, tolerance f=%d exceeded", len(deadCols), lay.F)
+		}
+		// Victims also lost their top-level inputs; restore them (linear
+		// code) so later DFS sub-problems can proceed.
+		if err := e.recoverInputs(p, ev, ctx); err != nil {
+			return nil, err
+		}
+		st.recovered += len(ev)
+		if isWorker && len(dfsPath) > 0 {
+			// A restored worker replays its (local, linear) evaluation
+			// chain from the recovered inputs. The replay is deterministic,
+			// so the result is bit-identical to the lost state; we charge
+			// the work.
+			for _, fe := range ev {
+				if fe.Proc == rank {
+					myA, myB = e.replayEvalPath(p, dfsPath)
+				}
+			}
+		}
+	}
+	var err error
+
+	// Column subtrees: every live grid column solves its sub-problem with
+	// the plain parallel engine (standard Parallel Toom-Cook from here on,
+	// Section 4.2).
+	myColAlive := inGrid && !deadCols[myCol]
+	var childProd []bigint.Int
+	if myColAlive {
+		colGroup := make(collective.Group, gP)
+		for r := 0; r < gP; r++ {
+			colGroup[r] = lay.ColumnRank(r, myCol)
+		}
+		childProd, err = e.plan.Node(p, colGroup, childA, childB, e.ldfs+1, fmt.Sprintf("ft%s.%d", tag, myCol))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var surv []int
+	if e.dropStragglers {
+		// Delay-fault mitigation: each row's decider interpolates from the
+		// first 2k-1 columns whose completion reports arrive within the
+		// slack; slower columns are simply not waited for — the redundant
+		// evaluation points stand in for them exactly as they do for dead
+		// columns.
+		var late []int
+		surv, late, err = e.decideOnTime(p, myRow, myCol, inGrid, tag)
+		if err != nil {
+			return nil, err
+		}
+		if inGrid {
+			chosenSet := map[int]bool{}
+			for _, c := range surv {
+				chosenSet[c] = true
+			}
+			for c := 0; c < numCols; c++ {
+				if !chosenSet[c] {
+					deadCols[c] = true
+				}
+			}
+			// Only columns that actually missed the deadline are reported
+			// as dropped; an unused on-time redundant column is not a
+			// straggler.
+			for _, c := range late {
+				st.deadSeen[c] = true
+			}
+		}
+		_ = myA
+		_ = myB
+	} else {
+		// Code re-creation (Section 4.1: "Each BFS step initiates a new
+		// code creation process"): live worker columns encode their child
+		// products onto the code rows, protecting the interpolation stage.
+		prodCode, err := e.createProductCode(p, deadCols, childProd, tag)
+		if err != nil {
+			return nil, err
+		}
+
+		// Faults during the interpolation stage: rebuild lost product data
+		// from the fresh code.
+		ev2 := p.Barrier(PhaseInterp)
+		childProd, prodCode, err = e.recoverProducts(p, ev2, deadCols, childProd, prodCode, tag)
+		if err != nil {
+			return nil, err
+		}
+		st.recovered += len(ev2)
+		_ = prodCode
+		// Interpolation-phase faults on polynomial-code columns are not
+		// covered by the worker-column code; treat those columns as dead.
+		for _, f := range ev2 {
+			if c, ok := lay.ColumnOf(f.Proc); ok && c >= cols {
+				deadCols[c] = true
+				st.deadSeen[c] = true
+			}
+		}
+		if numCols-len(deadCols) < cols {
+			return nil, fmt.Errorf("ftparallel: columns lost at interpolation, tolerance exceeded")
+		}
+		// Restore victims' inputs for subsequent DFS sub-problems.
+		if err := e.recoverInputs(p, ev2, ctx); err != nil {
+			return nil, err
+		}
+		_ = myA
+		_ = myB
+
+		// Surviving-column selection and on-the-fly interpolation matrix
+		// (Section 4.2, Correctness: "the interpolation matrix is
+		// calculated on the fly according to the evaluation points of the
+		// finished sub-problems").
+		surv = survivors(numCols, deadCols, cols)
+	}
+	if !inGrid {
+		// Linear-code processors hold no product share.
+		return slotShares{}, nil
+	}
+	w, err := e.interpFor(surv)
+	if err != nil {
+		return nil, err
+	}
+
+	// Upward redistribution among the surviving (virtual) grid and local
+	// fold, mirroring the plain engine.
+	myVirtual := -1
+	for v, c := range surv {
+		if c == myCol && myColAlive {
+			myVirtual = v
+		}
+	}
+	if myVirtual < 0 {
+		// Halted columns, unused live columns and code rows hold no share.
+		return slotShares{}, nil
+	}
+	per := len(childProd) / cols // entries per class
+	var selfUp []bigint.Int
+	for v := 0; v < cols; v++ {
+		slice := make([]bigint.Int, 0, per)
+		for u := v; u < len(childProd); u += cols {
+			slice = append(slice, childProd[u])
+		}
+		dst := lay.ColumnRank(myRow, surv[v])
+		if dst == rank {
+			selfUp = slice
+			continue
+		}
+		if err := p.Send(dst, tag+"/up", machine.Ints(slice)); err != nil {
+			return nil, err
+		}
+	}
+	slices := make([][]bigint.Int, cols)
+	for j := 0; j < cols; j++ {
+		src := lay.ColumnRank(myRow, surv[j])
+		if src == rank {
+			slices[j] = selfUp
+			continue
+		}
+		got, err := p.RecvInts(src, tag+"/up")
+		if err != nil {
+			return nil, err
+		}
+		slices[j] = got
+	}
+	out := e.fold(p, slices, w, lenTotal)
+	slot := myRow + myVirtual*gP
+	return slotShares{slot: out}, nil
+}
+
+// decideOnTime is the per-row straggler decision protocol: every grid
+// column of the row reports completion to the row's decider (extended
+// column 0); the decider accepts reports whose virtual arrival beats its
+// deadline (own completion + slack), picks the first 2k-1 on-time columns,
+// and broadcasts the choice to the whole row. Linear-code processors are
+// not involved and return a nil choice.
+func (e *engine) decideOnTime(p *machine.Proc, myRow, myCol int, inGrid bool, tag string) (chosen, late []int, err error) {
+	if !inGrid {
+		return nil, nil, nil
+	}
+	lay := e.lay
+	cols := lay.Cols()
+	numCols := lay.NumColumns()
+	decider := lay.ColumnRank(myRow, 0)
+	if p.ID() != decider {
+		if err := p.Send(decider, tag+"/done", machine.Meta{Value: myCol}); err != nil {
+			return nil, nil, err
+		}
+		dec, err := p.RecvInts(decider, tag+"/dec")
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(dec) < cols {
+			return nil, nil, fmt.Errorf("ftparallel: row decider aborted (straggler slack exhausted)")
+		}
+		all := make([]int, len(dec))
+		for i, v := range dec {
+			c, _ := v.Int64()
+			all[i] = int(c)
+		}
+		return all[:cols], all[cols:], nil
+	}
+	deadline := p.Clock() + e.slack
+	onTime := []int{0} // the decider's own column is on time by definition
+	for c := 1; c < numCols; c++ {
+		src := lay.ColumnRank(myRow, c)
+		_, ok, err := p.RecvDeadline(src, tag+"/done", deadline)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			onTime = append(onTime, c)
+		} else {
+			late = append(late, c)
+		}
+	}
+	if len(onTime) < cols {
+		// Abort fast: broadcast an empty decision so row-mates fail
+		// immediately instead of timing out.
+		for c := 1; c < numCols; c++ {
+			if err := p.Send(lay.ColumnRank(myRow, c), tag+"/dec", machine.Ints{}); err != nil {
+				return nil, nil, err
+			}
+		}
+		return nil, nil, fmt.Errorf("ftparallel: only %d of %d required columns reported within the straggler slack", len(onTime), cols)
+	}
+	chosen = onTime[:cols]
+	enc := make(machine.Ints, 0, cols+len(late))
+	for _, c := range chosen {
+		enc = append(enc, bigint.FromInt64(int64(c)))
+	}
+	for _, c := range late {
+		enc = append(enc, bigint.FromInt64(int64(c)))
+	}
+	for c := 1; c < numCols; c++ {
+		if err := p.Send(lay.ColumnRank(myRow, c), tag+"/dec", enc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return chosen, late, nil
+}
+
+// fold mirrors parallel's interpolation fold with the on-the-fly scaled
+// matrix, normalizing its denominator immediately so different surviving
+// sets across DFS sub-problems stay compatible.
+func (e *engine) fold(p *machine.Proc, slices [][]bigint.Int, w wScaled, lenTotal int) []bigint.Int {
+	k := e.alg.K()
+	lay := e.lay
+	childLen := len(slices[0])
+	lq := lenTotal / (k * lay.P)
+	out := make([]bigint.Int, 2*lenTotal/lay.P)
+	var work int64
+	for i := 0; i < 2*k-1; i++ {
+		base := i * lq
+		for s := 0; s < childLen; s++ {
+			acc := out[base+s]
+			for j := 0; j < 2*k-1; j++ {
+				c := w.rows[i][j]
+				if c == 0 {
+					continue
+				}
+				v := slices[j][s]
+				if v.IsZero() {
+					continue
+				}
+				acc = acc.Add(v.MulInt64(c))
+				work += 2 * wordsOf(v)
+			}
+			out[base+s] = acc
+		}
+	}
+	if scale := e.denLCM / w.den; scale != 1 {
+		for i := range out {
+			if !out[i].IsZero() {
+				out[i] = out[i].MulInt64(scale)
+				work += wordsOf(out[i])
+			}
+		}
+	}
+	p.Work(work)
+	return out
+}
+
+// computeDenLCM enumerates every (2k-1)-subset of the extended point set and
+// takes the lcm of the interpolation denominators.
+func (e *engine) computeDenLCM() error {
+	k := e.alg.K()
+	need := 2*k - 1
+	l := int64(1)
+	var rec func(start int, chosen []int) error
+	rec = func(start int, chosen []int) error {
+		if len(chosen) == need {
+			w, err := e.interpFor(append([]int(nil), chosen...))
+			if err != nil {
+				return err
+			}
+			l = lcm64(l, w.den)
+			if l <= 0 {
+				return fmt.Errorf("ftparallel: interpolation denominator lcm overflows int64")
+			}
+			return nil
+		}
+		for c := start; c <= len(e.pts)-(need-len(chosen)); c++ {
+			if err := rec(c+1, append(chosen, c)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, nil); err != nil {
+		return err
+	}
+	e.denLCM = l
+	return nil
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd64(a, b) * b
+}
+
+// interpFor returns the scaled interpolation matrix for a surviving column
+// set (cached; identical on every processor).
+func (e *engine) interpFor(surv []int) (wScaled, error) {
+	key := fmt.Sprint(surv)
+	if w, ok := e.wCache[key]; ok {
+		return w, nil
+	}
+	pts := make([]points.Point, len(surv))
+	for i, c := range surv {
+		pts[i] = e.pts[c]
+	}
+	wt, err := points.Interpolation(pts, 2*e.alg.K()-1)
+	if err != nil {
+		return wScaled{}, err
+	}
+	rows, den, err := toom.ScaledRows(wt)
+	if err != nil {
+		return wScaled{}, err
+	}
+	w := wScaled{rows: rows, den: den}
+	e.wCache[key] = w
+	return w, nil
+}
+
+// survivors picks the first `need` live extended columns.
+func survivors(numCols int, dead map[int]bool, need int) []int {
+	out := make([]int, 0, need)
+	for c := 0; c < numCols && len(out) < need; c++ {
+		if !dead[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// pathTag names a DFS path for message tags.
+func pathTag(path []int) string {
+	s := "t"
+	for _, j := range path {
+		s += fmt.Sprintf(".%d", j)
+	}
+	return s
+}
+
+// replayEvalPath recomputes a restored worker's evaluation chain from its
+// (recovered) top-level input shares — purely local linear work.
+func (e *engine) replayEvalPath(p *machine.Proc, path []int) ([]bigint.Int, []bigint.Int) {
+	a, b := e.plan.InputShares(p.ID())
+	k := e.alg.K()
+	for _, j := range path {
+		a = applyRowBlocks(p, e.alg.U()[j], a, k)
+		b = applyRowBlocks(p, e.alg.U()[j], b, k)
+	}
+	return a, b
+}
+
+// applyRowBlocks applies one evaluation-matrix row block-wise to a local
+// share (k contiguous blocks), charging the word work.
+func applyRowBlocks(p *machine.Proc, row []int64, share []bigint.Int, k int) []bigint.Int {
+	lb := len(share) / k
+	out := make([]bigint.Int, lb)
+	var work int64
+	for t := 0; t < lb; t++ {
+		acc := bigint.Zero()
+		for m := 0; m < k; m++ {
+			c := row[m]
+			if c == 0 {
+				continue
+			}
+			v := share[m*lb+t]
+			if v.IsZero() {
+				continue
+			}
+			acc = acc.Add(v.MulInt64(c))
+			work += 2 * wordsOf(v)
+		}
+		out[t] = acc
+	}
+	p.Work(work)
+	return out
+}
+
+func concat(a, b []bigint.Int) []bigint.Int {
+	out := make([]bigint.Int, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func wordsOf(x bigint.Int) int64 {
+	if l := int64(x.WordLen()); l > 0 {
+		return l
+	}
+	return 1
+}
+
+// assemble sums all slot shares into the product (unmetered read-out).
+func (e *engine) assemble(results []slotShares) (bigint.Int, error) {
+	lay := e.lay
+	perSlot := map[int][]bigint.Int{}
+	for _, st := range results {
+		for slot, share := range st {
+			cur, ok := perSlot[slot]
+			if !ok {
+				perSlot[slot] = append([]bigint.Int(nil), share...)
+				continue
+			}
+			if len(cur) != len(share) {
+				return bigint.Int{}, fmt.Errorf("ftparallel: ragged slot shares")
+			}
+			for i := range cur {
+				cur[i] = cur[i].Add(share[i])
+			}
+		}
+	}
+	if len(perSlot) == 0 {
+		return bigint.Int{}, fmt.Errorf("ftparallel: no result shares")
+	}
+	var shareLen int
+	for _, s := range perSlot {
+		shareLen = len(s)
+		break
+	}
+	full := make([]bigint.Int, shareLen*lay.P)
+	for slot, share := range perSlot {
+		if len(share) != shareLen {
+			return bigint.Int{}, fmt.Errorf("ftparallel: ragged slot shares")
+		}
+		for u, v := range share {
+			full[slot+u*lay.P] = v
+		}
+	}
+	z := toom.Recompose(full, e.shift)
+	_, wDen := e.alg.WScaled()
+	// The top BFS fold carries the common denominator lcm; the lbfs-1 plain
+	// levels below and the ldfs DFS levels above each deferred one factor
+	// of the standard denominator.
+	z = z.DivExactInt64(e.denLCM)
+	for i := 0; i < e.levels-1; i++ {
+		z = z.DivExactInt64(wDen)
+	}
+	if e.neg() {
+		z = z.Neg()
+	}
+	return z, nil
+}
+
+// neg reports whether the product is negative.
+func (e *engine) neg() bool { return e.plan.Negative() }

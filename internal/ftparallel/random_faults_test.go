@@ -1,0 +1,119 @@
+package ftparallel
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/toom"
+)
+
+// TestRandomFaultPlans is the package's central safety property: under ANY
+// fault plan with at most f faults, the fault-tolerant run either returns
+// the exact product or fails with an explicit error — never a silently
+// wrong answer. Plans beyond f may error (expected) but must still never
+// return a wrong product.
+func TestRandomFaultPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized fault sweep skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(301))
+	phases := []string{PhaseEval, PhaseMul, PhaseInterp}
+
+	configs := []struct{ k, p, f, dfs int }{
+		{2, 9, 1, 0}, {2, 9, 2, 0}, {3, 5, 1, 0}, {2, 9, 1, 1},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("k=%d P=%d f=%d dfs=%d", cfg.k, cfg.p, cfg.f, cfg.dfs), func(t *testing.T) {
+			alg := toom.MustNew(cfg.k)
+			lay, err := NewLayout(cfg.p, cfg.k, cfg.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := randOperand(rng, 1<<13)
+			b := randOperand(rng, 1<<13)
+			want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+
+			trials := 25
+			survived, errored := 0, 0
+			for trial := 0; trial < trials; trial++ {
+				// Random plan: up to f faults at random ranks and phases.
+				nf := 1 + rng.Intn(cfg.f)
+				var plan []machine.Fault
+				used := map[int]bool{}
+				for i := 0; i < nf; i++ {
+					proc := rng.Intn(lay.Total())
+					if used[proc] {
+						continue
+					}
+					used[proc] = true
+					ph := phases[rng.Intn(len(phases))]
+					hit := 0
+					if cfg.dfs > 0 && ph != PhaseEval {
+						hit = rng.Intn(2*cfg.k - 1) // any DFS sub-problem
+					}
+					plan = append(plan, machine.Fault{Proc: proc, Phase: ph, Hit: hit})
+				}
+				res, err := Multiply(a, b, Options{
+					Alg: alg, P: cfg.p, F: cfg.f, DFSSteps: cfg.dfs, Faults: plan,
+				})
+				if err != nil {
+					// Acceptable only if it is an explicit failure; but with
+					// ≤ f faults the mixed code must actually survive every
+					// pattern our injector can produce, so count and assert.
+					errored++
+					t.Logf("trial %d: plan %v -> error: %v", trial, plan, err)
+					continue
+				}
+				survived++
+				if res.Product.ToBig().Cmp(want) != 0 {
+					t.Fatalf("trial %d: plan %v returned a WRONG product", trial, plan)
+				}
+			}
+			if errored > 0 {
+				t.Errorf("%d/%d plans with ≤ f faults were not survived", errored, survived+errored)
+			}
+		})
+	}
+}
+
+// TestRandomOverloadPlans drives plans beyond tolerance: wrong results are
+// forbidden; explicit errors are expected and fine.
+func TestRandomOverloadPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized overload sweep skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(302))
+	alg := toom.MustNew(2)
+	lay, _ := NewLayout(9, 2, 1)
+	a := randOperand(rng, 1<<12)
+	b := randOperand(rng, 1<<12)
+	want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+	for trial := 0; trial < 15; trial++ {
+		// 2-4 faults against f=1.
+		nf := 2 + rng.Intn(3)
+		var plan []machine.Fault
+		used := map[int]bool{}
+		for i := 0; i < nf; i++ {
+			proc := rng.Intn(lay.Total())
+			if used[proc] {
+				continue
+			}
+			used[proc] = true
+			plan = append(plan, machine.Fault{
+				Proc:  proc,
+				Phase: []string{PhaseEval, PhaseMul, PhaseInterp}[rng.Intn(3)],
+			})
+		}
+		res, err := Multiply(a, b, Options{Alg: alg, P: 9, F: 1, Faults: plan})
+		if err != nil {
+			continue // explicit failure: correct behavior
+		}
+		if res.Product.ToBig().Cmp(want) != 0 {
+			t.Fatalf("trial %d: overload plan %v returned a WRONG product (must error instead)", trial, plan)
+		}
+	}
+}

@@ -1,0 +1,611 @@
+// Package machine simulates the paper's parallel machine model
+// (Section 2.1): P identical processors, each with a local memory of M
+// words, connected by a peer-to-peer network. The three cost measures —
+// F (arithmetic operations), BW (words communicated), and L (messages) —
+// are counted along the critical path, and the total runtime is modeled as
+// C = α·L + β·BW + γ·F.
+//
+// Each processor runs as a goroutine executing an SPMD program. Messages
+// travel over per-pair FIFO channels; every processor carries a virtual
+// clock that advances with local work and message transfers, so the maximum
+// clock at the end of a run is the critical-path runtime under the α/β/γ
+// model, independent of real scheduling.
+//
+// Hard faults (Section 2.1) are injected at named barriers: a processor
+// scheduled to fail "at phase X" loses its entire local store when it
+// reaches the barrier named X, modeling fail-stop death with immediate
+// replacement — the same rank continues with empty memory, exactly the
+// paper's "the affected processor ceases operation, loses its data, and is
+// subsequently replaced by an alternative processor". All processors
+// observe the same list of failures at each barrier (a perfect failure
+// detector, standard in this model).
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bigint"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	P int // number of processors (excluding none; code processors included by caller)
+
+	// MemoryWords is the per-processor memory capacity M in 64-bit words;
+	// 0 means unlimited. Exceeding it makes Store return an error, so
+	// algorithms can verify the Lemma 3.1 scheduling actually fits.
+	MemoryWords int64
+
+	// Runtime model coefficients: latency per message, time per word, time
+	// per arithmetic word-operation. Zero values default to α=1000, β=10,
+	// γ=1 — a conventional HPC-ish ratio.
+	Alpha, Beta, Gamma float64
+
+	// RecvTimeout guards against protocol deadlocks in tests; zero means
+	// 30 seconds.
+	RecvTimeout time.Duration
+
+	// ChannelCap is the per-pair in-flight message capacity (default 128).
+	// The P² channels are allocated eagerly, so large machines should keep
+	// this modest; protocols in this repository never queue more than a
+	// handful of messages per pair.
+	ChannelCap int
+
+	// SpeedFactors optionally slows processors down: processor i's
+	// arithmetic takes γ·SpeedFactors[i] per word-operation (1.0 when nil
+	// or zero). This models *delay faults* — the paper's third fault
+	// category — in virtual time only; real execution speed is unchanged.
+	SpeedFactors []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1000
+	}
+	if c.Beta == 0 {
+		c.Beta = 10
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1
+	}
+	if c.RecvTimeout == 0 {
+		c.RecvTimeout = 30 * time.Second
+	}
+	if c.ChannelCap == 0 {
+		c.ChannelCap = 128
+	}
+	return c
+}
+
+// Fault schedules a hard fault: processor Proc dies when it reaches the
+// barrier named Phase for the Hit-th time (0 = first).
+type Fault struct {
+	Proc  int
+	Phase string
+	Hit   int
+}
+
+// FaultEvent reports an injected fault to the surviving processors.
+type FaultEvent struct {
+	Proc  int
+	Phase string
+}
+
+// Payload is anything a message can carry; Words is its size in the model's
+// word units and is what the BW accounting charges.
+type Payload interface {
+	Words() int64
+}
+
+// Ints is a payload of big integers; its word count is the total limb count
+// (at least one word per integer, so zeros still occupy a word on the wire).
+type Ints []bigint.Int
+
+// Words implements Payload.
+func (v Ints) Words() int64 {
+	var w int64
+	for _, x := range v {
+		l := int64(x.WordLen())
+		if l == 0 {
+			l = 1
+		}
+		w += l
+	}
+	return w
+}
+
+// Meta is a small control payload (a tag, an index, a count) costing one word.
+type Meta struct{ Value int }
+
+// Words implements Payload.
+func (Meta) Words() int64 { return 1 }
+
+type message struct {
+	from    int
+	tag     string
+	payload Payload
+	arrive  float64 // sender clock after the transfer completed
+}
+
+// Stats are one processor's accumulated costs.
+type Stats struct {
+	Flops     int64   // F: word-level arithmetic operations
+	SentWords int64   // words sent
+	RecvWords int64   // words received
+	Messages  int64   // L: messages sent
+	PeakWords int64   // peak local-store occupancy
+	Clock     float64 // virtual completion time
+	Faults    int     // times this rank was killed and replaced
+}
+
+// MarkRecord is a named snapshot of a processor's counters, for per-phase
+// cost attribution (the anatomy of the paper's evaluation/multiplication/
+// interpolation stages).
+type MarkRecord struct {
+	Label     string
+	Clock     float64
+	Flops     int64
+	SentWords int64
+	Messages  int64
+}
+
+// Report aggregates a finished run. Following the paper, F, BW and L are
+// critical-path figures: the maximum over processors (the processors
+// operate bulk-synchronously between barriers). Totals are also kept for
+// the overhead comparisons of Section 5.
+type Report struct {
+	PerProc []Stats
+	F       int64   // max flops over processors
+	BW      int64   // max words sent over processors
+	L       int64   // max messages over processors
+	Time    float64 // max virtual clock = modeled runtime C
+	TotalF  int64
+	TotalBW int64
+	TotalL  int64
+	Faults  []FaultEvent
+	// Marks holds each processor's Mark snapshots, in call order.
+	Marks [][]MarkRecord
+}
+
+// Machine is a simulated P-processor machine. Create with New, run one
+// program with Run; a Machine is single-use.
+type Machine struct {
+	cfg    Config
+	procs  []*Proc
+	chans  [][]chan message                // chans[from][to]
+	faults map[string]map[int]map[int]bool // phase -> hit -> proc set
+
+	mu        sync.Mutex
+	active    int
+	barGen    int
+	cur       *barState
+	done      map[int]*barState
+	barCond   *sync.Cond
+	barHits   map[string]int
+	allEvents []FaultEvent
+}
+
+// barState is the per-generation barrier rendezvous state; keeping it per
+// generation prevents a fast processor's next barrier from clobbering the
+// event list a slow waiter has not copied yet.
+type barState struct {
+	count   int // processors arrived
+	readers int // processors yet to consume the released state
+	events  []FaultEvent
+	max     float64
+}
+
+// New creates a machine with the given configuration and fault plan.
+func New(cfg Config, plan []Fault) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("machine: need P >= 1, got %d", cfg.P)
+	}
+	m := &Machine{
+		cfg:     cfg,
+		faults:  map[string]map[int]map[int]bool{},
+		barHits: map[string]int{},
+		done:    map[int]*barState{},
+	}
+	m.barCond = sync.NewCond(&m.mu)
+	for _, f := range plan {
+		if f.Proc < 0 || f.Proc >= cfg.P {
+			return nil, fmt.Errorf("machine: fault for nonexistent processor %d", f.Proc)
+		}
+		if m.faults[f.Phase] == nil {
+			m.faults[f.Phase] = map[int]map[int]bool{}
+		}
+		if m.faults[f.Phase][f.Hit] == nil {
+			m.faults[f.Phase][f.Hit] = map[int]bool{}
+		}
+		m.faults[f.Phase][f.Hit][f.Proc] = true
+	}
+	m.chans = make([][]chan message, cfg.P)
+	for i := range m.chans {
+		m.chans[i] = make([]chan message, cfg.P)
+		for j := range m.chans[i] {
+			m.chans[i][j] = make(chan message, cfg.ChannelCap)
+		}
+	}
+	m.procs = make([]*Proc, cfg.P)
+	for i := range m.procs {
+		m.procs[i] = &Proc{id: i, m: m, store: map[string]storedValue{}}
+	}
+	return m, nil
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.cfg.P }
+
+// Run executes program on all P processors and returns the cost report.
+// The first processor error (if any) aborts with that error.
+func (m *Machine) Run(program func(*Proc) error) (*Report, error) {
+	m.mu.Lock()
+	m.active = m.cfg.P
+	m.mu.Unlock()
+
+	errs := make([]error, m.cfg.P)
+	var wg sync.WaitGroup
+	for i := range m.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				m.mu.Lock()
+				m.active--
+				m.maybeRelease()
+				m.barCond.Broadcast()
+				m.mu.Unlock()
+			}()
+			errs[p.id] = program(p)
+		}(m.procs[i])
+	}
+	wg.Wait()
+
+	rep := &Report{PerProc: make([]Stats, m.cfg.P), Faults: m.allEvents, Marks: make([][]MarkRecord, m.cfg.P)}
+	for i, p := range m.procs {
+		rep.Marks[i] = p.marks
+	}
+	for i, p := range m.procs {
+		s := Stats{
+			Flops:     p.flops,
+			SentWords: p.sentWords,
+			RecvWords: p.recvWords,
+			Messages:  p.messages,
+			PeakWords: p.peakWords,
+			Clock:     p.clock,
+			Faults:    p.faultCount,
+		}
+		rep.PerProc[i] = s
+		rep.TotalF += s.Flops
+		rep.TotalBW += s.SentWords
+		rep.TotalL += s.Messages
+		if s.Flops > rep.F {
+			rep.F = s.Flops
+		}
+		if s.SentWords > rep.BW {
+			rep.BW = s.SentWords
+		}
+		if s.Messages > rep.L {
+			rep.L = s.Messages
+		}
+		if s.Clock > rep.Time {
+			rep.Time = s.Clock
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// StoreOf reads processor id's local store. It is intended for harness use
+// after Run has returned (e.g. assembling a distributed result without
+// charging communication); calling it during a run races with the programs.
+func (m *Machine) StoreOf(id int, key string) (Payload, bool) {
+	if id < 0 || id >= m.cfg.P {
+		return nil, false
+	}
+	sv, ok := m.procs[id].store[key]
+	if !ok {
+		return nil, false
+	}
+	return sv.v, true
+}
+
+// storedValue tracks a stored payload and its size for memory accounting.
+type storedValue struct {
+	v     Payload
+	words int64
+}
+
+// Proc is one simulated processor; its methods must only be called from its
+// own program goroutine.
+type Proc struct {
+	id int
+	m  *Machine
+
+	clock      float64
+	flops      int64
+	sentWords  int64
+	recvWords  int64
+	messages   int64
+	memWords   int64
+	peakWords  int64
+	faultCount int
+
+	store map[string]storedValue
+	marks []MarkRecord
+}
+
+// Mark records a named snapshot of the processor's counters; the run report
+// exposes all snapshots for per-phase cost attribution.
+func (p *Proc) Mark(label string) {
+	p.marks = append(p.marks, MarkRecord{
+		Label:     label,
+		Clock:     p.clock,
+		Flops:     p.flops,
+		SentWords: p.sentWords,
+		Messages:  p.messages,
+	})
+}
+
+// ID returns the processor's rank in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the machine's processor count.
+func (p *Proc) P() int { return p.m.cfg.P }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// FaultCount returns how many times this rank has been killed and replaced.
+func (p *Proc) FaultCount() int { return p.faultCount }
+
+// Work charges n word-level arithmetic operations (F) and advances the clock.
+func (p *Proc) Work(n int64) {
+	if n < 0 {
+		panic("machine: negative work")
+	}
+	p.flops += n
+	speed := 1.0
+	if sf := p.m.cfg.SpeedFactors; p.id < len(sf) && sf[p.id] > 0 {
+		speed = sf[p.id]
+	}
+	p.clock += p.m.cfg.Gamma * float64(n) * speed
+}
+
+// Send transmits payload to processor `to` with a protocol tag. It charges
+// one message (L) and the payload's word count (BW) to the sender and
+// advances the sender's clock by α + β·words; the receiver's clock is
+// advanced on Recv to at least the arrival time.
+func (p *Proc) Send(to int, tag string, payload Payload) error {
+	if to < 0 || to >= p.m.cfg.P {
+		return fmt.Errorf("machine: proc %d sending to nonexistent proc %d", p.id, to)
+	}
+	w := payload.Words()
+	p.messages++
+	p.sentWords += w
+	p.clock += p.m.cfg.Alpha + p.m.cfg.Beta*float64(w)
+	msg := message{from: p.id, tag: tag, payload: payload, arrive: p.clock}
+	select {
+	case p.m.chans[p.id][to] <- msg:
+		return nil
+	default:
+		return fmt.Errorf("machine: channel %d->%d full (protocol error)", p.id, to)
+	}
+}
+
+// Recv receives the next message from processor `from`, asserting the
+// protocol tag. It blocks until the message arrives and advances the clock
+// to at least the message's arrival time.
+func (p *Proc) Recv(from int, tag string) (Payload, error) {
+	if from < 0 || from >= p.m.cfg.P {
+		return nil, fmt.Errorf("machine: proc %d receiving from nonexistent proc %d", p.id, from)
+	}
+	select {
+	case msg := <-p.m.chans[from][p.id]:
+		if msg.tag != tag {
+			return nil, fmt.Errorf("machine: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.tag)
+		}
+		w := msg.payload.Words()
+		p.recvWords += w
+		if msg.arrive > p.clock {
+			p.clock = msg.arrive
+		}
+		return msg.payload, nil
+	case <-time.After(p.m.cfg.RecvTimeout):
+		return nil, fmt.Errorf("machine: proc %d timed out waiting for tag %q from %d", p.id, tag, from)
+	}
+}
+
+// RecvDeadline receives the next message from `from` but accepts it only if
+// its virtual arrival time is at or before the deadline; a later message is
+// discarded (the transport drops what the receiver stopped listening for)
+// and the receiver's clock advances to the deadline instead. This is the
+// timeout primitive behind straggler (delay-fault) mitigation: proceed at
+// the deadline with whoever reported in time.
+func (p *Proc) RecvDeadline(from int, tag string, deadline float64) (Payload, bool, error) {
+	if from < 0 || from >= p.m.cfg.P {
+		return nil, false, fmt.Errorf("machine: proc %d receiving from nonexistent proc %d", p.id, from)
+	}
+	select {
+	case msg := <-p.m.chans[from][p.id]:
+		if msg.tag != tag {
+			return nil, false, fmt.Errorf("machine: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.tag)
+		}
+		if msg.arrive > deadline {
+			if deadline > p.clock {
+				p.clock = deadline
+			}
+			return nil, false, nil
+		}
+		p.recvWords += msg.payload.Words()
+		if msg.arrive > p.clock {
+			p.clock = msg.arrive
+		}
+		return msg.payload, true, nil
+	case <-time.After(p.m.cfg.RecvTimeout):
+		return nil, false, fmt.Errorf("machine: proc %d timed out waiting for tag %q from %d", p.id, tag, from)
+	}
+}
+
+// RecvInts is Recv specialized to the Ints payload type.
+func (p *Proc) RecvInts(from int, tag string) (Ints, error) {
+	v, err := p.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	ints, ok := v.(Ints)
+	if !ok {
+		return nil, fmt.Errorf("machine: proc %d expected Ints from %d tag %q, got %T", p.id, from, tag, v)
+	}
+	return ints, nil
+}
+
+// Store saves a payload in local memory under key, enforcing the memory
+// capacity M when configured. Overwriting a key releases the old value.
+func (p *Proc) Store(key string, v Payload) error {
+	w := v.Words()
+	old := p.store[key].words
+	next := p.memWords - old + w
+	if p.m.cfg.MemoryWords > 0 && next > p.m.cfg.MemoryWords {
+		return fmt.Errorf("machine: proc %d out of memory: need %d words, capacity %d", p.id, next, p.m.cfg.MemoryWords)
+	}
+	p.store[key] = storedValue{v: v, words: w}
+	p.memWords = next
+	if p.memWords > p.peakWords {
+		p.peakWords = p.memWords
+	}
+	return nil
+}
+
+// Load retrieves a stored payload.
+func (p *Proc) Load(key string) (Payload, bool) {
+	sv, ok := p.store[key]
+	if !ok {
+		return nil, false
+	}
+	return sv.v, true
+}
+
+// LoadInts retrieves a stored Ints payload, with a typed error on mismatch.
+func (p *Proc) LoadInts(key string) (Ints, error) {
+	v, ok := p.Load(key)
+	if !ok {
+		return nil, fmt.Errorf("machine: proc %d has no %q (lost to a fault?)", p.id, key)
+	}
+	ints, ok := v.(Ints)
+	if !ok {
+		return nil, fmt.Errorf("machine: proc %d key %q holds %T, not Ints", p.id, key, v)
+	}
+	return ints, nil
+}
+
+// Free releases a stored payload.
+func (p *Proc) Free(key string) {
+	if sv, ok := p.store[key]; ok {
+		p.memWords -= sv.words
+		delete(p.store, key)
+	}
+}
+
+// Keys returns the stored keys in sorted order (diagnostics).
+func (p *Proc) Keys() []string {
+	keys := make([]string, 0, len(p.store))
+	for k := range p.store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MemoryWords returns the current local-store occupancy.
+func (p *Proc) MemoryWords() int64 { return p.memWords }
+
+// Barrier synchronizes all still-active processors at the named phase
+// boundary and injects any faults scheduled for it. Every participant
+// returns the same list of fault events (the perfect failure detector);
+// a processor that appears in the list is the *replacement* of the failed
+// rank: its store has been wiped and it continues with empty memory.
+//
+// The barrier charges ⌈log₂P⌉ messages of one word (a tree barrier) and
+// synchronizes virtual clocks to the barrier's completion time.
+func (p *Proc) Barrier(phase string) []FaultEvent {
+	m := p.m
+	logP := int64(math.Ceil(math.Log2(float64(m.cfg.P))))
+	if logP < 1 {
+		logP = 1
+	}
+	p.messages += logP
+	p.sentWords += logP
+	p.clock += float64(logP) * (m.cfg.Alpha + m.cfg.Beta)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gen := m.barGen
+	if m.cur == nil {
+		m.cur = &barState{}
+	}
+	m.cur.count++
+	if p.clock > m.cur.max {
+		m.cur.max = p.clock
+	}
+
+	// Inject this processor's own scheduled fault, if any.
+	hit := m.barHits[barKey(phase, p.id)]
+	m.barHits[barKey(phase, p.id)] = hit + 1
+	if byHit, ok := m.faults[phase]; ok {
+		if procs, ok := byHit[hit]; ok && procs[p.id] {
+			ev := FaultEvent{Proc: p.id, Phase: phase}
+			m.cur.events = append(m.cur.events, ev)
+			m.allEvents = append(m.allEvents, ev)
+			// Fail-stop: all local data is lost; the replacement starts
+			// empty at the same rank.
+			p.store = map[string]storedValue{}
+			p.memWords = 0
+			p.faultCount++
+		}
+	}
+
+	m.maybeRelease()
+	for m.barGen == gen {
+		m.barCond.Wait()
+	}
+	st := m.done[gen]
+	if st.max > p.clock {
+		p.clock = st.max
+	}
+	events := make([]FaultEvent, len(st.events))
+	copy(events, st.events)
+	st.readers--
+	if st.readers == 0 {
+		delete(m.done, gen)
+	}
+	return events
+}
+
+// maybeRelease completes the current barrier generation once every active
+// processor has arrived. Called with m.mu held, from Barrier and from the
+// active-count decrement when a processor exits mid-barrier.
+func (m *Machine) maybeRelease() {
+	if m.cur == nil || m.cur.count < m.active {
+		return
+	}
+	st := m.cur
+	m.cur = nil
+	sort.Slice(st.events, func(i, j int) bool { return st.events[i].Proc < st.events[j].Proc })
+	st.readers = st.count
+	m.done[m.barGen] = st
+	m.barGen++
+	m.barCond.Broadcast()
+}
+
+func barKey(phase string, proc int) string { return fmt.Sprintf("%s#%d", phase, proc) }

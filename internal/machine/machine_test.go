@@ -1,0 +1,436 @@
+package machine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bigint"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{P: 0}, nil); err == nil {
+		t.Error("P=0 should fail")
+	}
+	if _, err := New(Config{P: 2}, []Fault{{Proc: 5, Phase: "x"}}); err == nil {
+		t.Error("fault for nonexistent proc should fail")
+	}
+}
+
+func TestIntsWords(t *testing.T) {
+	v := Ints{bigint.Zero(), bigint.One(), bigint.One().Shl(200)}
+	// zero counts 1, one counts 1, 201-bit counts 4 limbs.
+	if got := v.Words(); got != 6 {
+		t.Errorf("Words() = %d, want 6", got)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	m, err := New(Config{P: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := Ints{bigint.FromInt64(42)}
+	rep, err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			return p.Send(1, "data", payload)
+		}
+		got, err := p.RecvInts(0, "data")
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || !got[0].Equal(bigint.FromInt64(42)) {
+			return fmt.Errorf("wrong payload: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerProc[0].Messages != 1 || rep.PerProc[0].SentWords != 1 {
+		t.Errorf("sender stats: %+v", rep.PerProc[0])
+	}
+	if rep.PerProc[1].RecvWords != 1 {
+		t.Errorf("receiver stats: %+v", rep.PerProc[1])
+	}
+	if rep.L != 1 || rep.BW != 1 {
+		t.Errorf("report: L=%d BW=%d", rep.L, rep.BW)
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	m, _ := New(Config{P: 2}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			return p.Send(1, "alpha", Meta{})
+		}
+		_, err := p.Recv(0, "beta")
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected tag mismatch error")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	m, _ := New(Config{P: 2, RecvTimeout: 50 * time.Millisecond}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		if p.ID() == 1 {
+			_, err := p.Recv(0, "never")
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestClockCriticalPath(t *testing.T) {
+	// A chain 0 -> 1 -> 2: proc 2's clock must include both transfers and
+	// all work, regardless of real scheduling.
+	cfg := Config{P: 3, Alpha: 100, Beta: 1, Gamma: 1}
+	m, _ := New(cfg, nil)
+	rep, err := m.Run(func(p *Proc) error {
+		switch p.ID() {
+		case 0:
+			p.Work(50)
+			return p.Send(1, "x", Meta{})
+		case 1:
+			if _, err := p.Recv(0, "x"); err != nil {
+				return err
+			}
+			p.Work(50)
+			return p.Send(2, "x", Meta{})
+		default:
+			_, err := p.Recv(1, "x")
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// clock(proc2) = 50 + (100+1) + 50 + (100+1) = 302.
+	if got := rep.PerProc[2].Clock; got != 302 {
+		t.Errorf("critical path clock = %v, want 302", got)
+	}
+	if rep.Time != 302 {
+		t.Errorf("report time = %v", rep.Time)
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	m, _ := New(Config{P: 1, Gamma: 2}, nil)
+	rep, _ := m.Run(func(p *Proc) error {
+		p.Work(10)
+		return nil
+	})
+	if rep.F != 10 {
+		t.Errorf("F = %d", rep.F)
+	}
+	if rep.PerProc[0].Clock != 20 {
+		t.Errorf("clock = %v, want 20 (γ=2)", rep.PerProc[0].Clock)
+	}
+}
+
+func TestStoreLoadFree(t *testing.T) {
+	m, _ := New(Config{P: 1}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		v := Ints{bigint.One().Shl(128)} // 3 limbs
+		if err := p.Store("a", v); err != nil {
+			return err
+		}
+		if p.MemoryWords() != 3 {
+			return fmt.Errorf("mem = %d, want 3", p.MemoryWords())
+		}
+		got, err := p.LoadInts("a")
+		if err != nil {
+			return err
+		}
+		if !got[0].Equal(v[0]) {
+			return fmt.Errorf("loaded wrong value")
+		}
+		p.Free("a")
+		if p.MemoryWords() != 0 {
+			return fmt.Errorf("free did not release memory")
+		}
+		if _, err := p.LoadInts("a"); err == nil {
+			return fmt.Errorf("expected miss after Free")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryCapacity(t *testing.T) {
+	m, _ := New(Config{P: 1, MemoryWords: 4}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		big := Ints{bigint.One().Shl(64 * 8)} // 9 limbs > 4
+		if err := p.Store("big", big); err == nil {
+			return fmt.Errorf("expected out-of-memory error")
+		}
+		small := Ints{bigint.One()}
+		if err := p.Store("s", small); err != nil {
+			return err
+		}
+		// Overwriting a key releases the old allocation.
+		if err := p.Store("s", Ints{bigint.One().Shl(64 * 2)}); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakMemory(t *testing.T) {
+	m, _ := New(Config{P: 1}, nil)
+	rep, _ := m.Run(func(p *Proc) error {
+		_ = p.Store("a", Ints{bigint.One().Shl(64 * 4)}) // 5 words
+		p.Free("a")
+		_ = p.Store("b", Ints{bigint.One()}) // 1 word
+		return nil
+	})
+	if rep.PerProc[0].PeakWords != 5 {
+		t.Errorf("peak = %d, want 5", rep.PerProc[0].PeakWords)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m, _ := New(Config{P: 3, Alpha: 1, Beta: 1, Gamma: 1}, nil)
+	rep, err := m.Run(func(p *Proc) error {
+		p.Work(int64(p.ID()) * 100) // staggered work
+		p.Barrier("sync")
+		if p.Clock() < 200 {
+			return fmt.Errorf("proc %d clock %v below slowest worker", p.ID(), p.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time < 200 {
+		t.Errorf("time %v", rep.Time)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	plan := []Fault{{Proc: 1, Phase: "mul"}}
+	m, _ := New(Config{P: 3}, plan)
+	var observed int32
+	_, err := m.Run(func(p *Proc) error {
+		if err := p.Store("data", Ints{bigint.FromInt64(int64(p.ID()))}); err != nil {
+			return err
+		}
+		events := p.Barrier("mul")
+		if len(events) != 1 || events[0].Proc != 1 {
+			return fmt.Errorf("proc %d saw events %v", p.ID(), events)
+		}
+		atomic.AddInt32(&observed, 1)
+		if p.ID() == 1 {
+			// The replacement's store is empty.
+			if _, err := p.LoadInts("data"); err == nil {
+				return fmt.Errorf("fault did not wipe store")
+			}
+			if p.FaultCount() != 1 {
+				return fmt.Errorf("fault count %d", p.FaultCount())
+			}
+		} else if _, err := p.LoadInts("data"); err != nil {
+			return fmt.Errorf("survivor lost data: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != 3 {
+		t.Errorf("only %d procs observed the fault", observed)
+	}
+}
+
+func TestFaultHitCounting(t *testing.T) {
+	// Proc 0 dies the second time it reaches barrier "step".
+	plan := []Fault{{Proc: 0, Phase: "step", Hit: 1}}
+	m, _ := New(Config{P: 2}, plan)
+	_, err := m.Run(func(p *Proc) error {
+		ev1 := p.Barrier("step")
+		if len(ev1) != 0 {
+			return fmt.Errorf("unexpected fault at first hit: %v", ev1)
+		}
+		ev2 := p.Barrier("step")
+		if len(ev2) != 1 || ev2[0].Proc != 0 {
+			return fmt.Errorf("expected fault at second hit, got %v", ev2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleFaultsSameBarrier(t *testing.T) {
+	plan := []Fault{{Proc: 0, Phase: "x"}, {Proc: 2, Phase: "x"}}
+	m, _ := New(Config{P: 4}, plan)
+	_, err := m.Run(func(p *Proc) error {
+		events := p.Barrier("x")
+		if len(events) != 2 || events[0].Proc != 0 || events[1].Proc != 2 {
+			return fmt.Errorf("events %v", events)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAfterProcExit(t *testing.T) {
+	// One proc returns early; the rest must still pass barriers.
+	m, _ := New(Config{P: 3}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		if p.ID() == 2 {
+			return nil // leaves immediately
+		}
+		p.Barrier("late")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	m, _ := New(Config{P: 2}, nil)
+	rep, _ := m.Run(func(p *Proc) error {
+		p.Work(int64(10 * (p.ID() + 1)))
+		if p.ID() == 0 {
+			return p.Send(1, "t", Ints{bigint.One()})
+		}
+		_, err := p.Recv(0, "t")
+		return err
+	})
+	if rep.TotalF != 30 || rep.F != 20 {
+		t.Errorf("F: total %d max %d", rep.TotalF, rep.F)
+	}
+	if rep.TotalL != 1 {
+		t.Errorf("TotalL = %d", rep.TotalL)
+	}
+}
+
+func TestProgramErrorPropagates(t *testing.T) {
+	m, _ := New(Config{P: 2}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		if p.ID() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendBounds(t *testing.T) {
+	m, _ := New(Config{P: 1}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		if err := p.Send(7, "x", Meta{}); err == nil {
+			return fmt.Errorf("expected out-of-range error")
+		}
+		if _, err := p.Recv(-1, "x"); err == nil {
+			return fmt.Errorf("expected out-of-range error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarks(t *testing.T) {
+	m, _ := New(Config{P: 2, Gamma: 1}, nil)
+	rep, err := m.Run(func(p *Proc) error {
+		p.Work(10)
+		p.Mark("after-work")
+		if p.ID() == 0 {
+			if err := p.Send(1, "x", Meta{}); err != nil {
+				return err
+			}
+		} else if _, err := p.Recv(0, "x"); err != nil {
+			return err
+		}
+		p.Mark("after-comm")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := rep.Marks[0]
+	if len(marks) != 2 || marks[0].Label != "after-work" || marks[1].Label != "after-comm" {
+		t.Fatalf("marks = %+v", marks)
+	}
+	if marks[0].Flops != 10 {
+		t.Errorf("first mark flops = %d", marks[0].Flops)
+	}
+	if marks[1].Messages != 1 {
+		t.Errorf("sender second mark messages = %d", marks[1].Messages)
+	}
+}
+
+func TestSpeedFactors(t *testing.T) {
+	m, _ := New(Config{P: 2, Gamma: 1, SpeedFactors: []float64{1, 10}}, nil)
+	rep, err := m.Run(func(p *Proc) error {
+		p.Work(100)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerProc[0].Clock != 100 || rep.PerProc[1].Clock != 1000 {
+		t.Errorf("clocks = %v, %v; want 100, 1000", rep.PerProc[0].Clock, rep.PerProc[1].Clock)
+	}
+	// F counts are unaffected by the slowdown — only virtual time is.
+	if rep.PerProc[1].Flops != 100 {
+		t.Errorf("slow proc flops = %d", rep.PerProc[1].Flops)
+	}
+}
+
+func TestRecvDeadline(t *testing.T) {
+	m, _ := New(Config{P: 3, Alpha: 10, Beta: 1, Gamma: 1}, nil)
+	_, err := m.Run(func(p *Proc) error {
+		switch p.ID() {
+		case 0:
+			// Fast sender: arrives around t=11.
+			return p.Send(2, "d", Meta{})
+		case 1:
+			// Slow sender: works first, arrives around t=1011.
+			p.Work(1000)
+			return p.Send(2, "d", Meta{})
+		default:
+			// Accept only what arrives by t=500.
+			got, ok, err := p.RecvDeadline(0, "d", 500)
+			if err != nil {
+				return err
+			}
+			if !ok || got == nil {
+				return fmt.Errorf("fast sender should beat the deadline")
+			}
+			_, ok, err = p.RecvDeadline(1, "d", 500)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return fmt.Errorf("slow sender should miss the deadline")
+			}
+			if p.Clock() != 500 {
+				return fmt.Errorf("clock should advance to the deadline, got %v", p.Clock())
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigint"
+	"repro/internal/toom"
+)
+
+func TestSchoolbookMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for _, p := range []int{1, 4, 9, 16} {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				a := randOperand(rng, 1<<13)
+				b := randOperand(rng, 1<<13)
+				if trial%2 == 0 {
+					a = a.Neg()
+				}
+				res, err := MultiplySchoolbook(a, b, SchoolbookOptions{P: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+				if res.Product.ToBig().Cmp(want) != 0 {
+					t.Fatalf("P=%d trial %d: mismatch", p, trial)
+				}
+			}
+		})
+	}
+}
+
+func TestSchoolbookValidation(t *testing.T) {
+	a := bigint.FromInt64(3)
+	if _, err := MultiplySchoolbook(a, a, SchoolbookOptions{P: 8}); err == nil {
+		t.Error("non-square P should fail")
+	}
+	res, err := MultiplySchoolbook(bigint.Zero(), a, SchoolbookOptions{P: 4})
+	if err != nil || !res.Product.IsZero() {
+		t.Errorf("0·3 = %v, %v", res.Product, err)
+	}
+}
+
+func TestSchoolbookVsToomCrossover(t *testing.T) {
+	// The reason Toom-Cook exists: schoolbook's per-processor arithmetic is
+	// Θ(n²/P) against Toom's Θ(n^{1.585}/P); the F ratio must grow with n.
+	rng := rand.New(rand.NewSource(192))
+	alg := toom.MustNew(2)
+	ratio := func(bits int) float64 {
+		a, b := bigint.Random(rng, bits), bigint.Random(rng, bits)
+		sb, err := MultiplySchoolbook(a, b, SchoolbookOptions{P: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, err := Multiply(a, b, Options{Alg: alg, P: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(sb.Report.F) / float64(tc.Report.F)
+	}
+	r1 := ratio(1 << 13)
+	r2 := ratio(1 << 17)
+	if r2 <= r1 {
+		t.Errorf("schoolbook/Toom F ratio should grow with n: %.2f -> %.2f", r1, r2)
+	}
+}
+
+func TestSchoolbookBandwidthShape(t *testing.T) {
+	// Arithmetic per processor is Θ(n²/P): quadrupling P quarters F.
+	rng := rand.New(rand.NewSource(193))
+	a, b := bigint.Random(rng, 1<<15), bigint.Random(rng, 1<<15)
+	run := func(p int) (int64, int64) {
+		res, err := MultiplySchoolbook(a, b, SchoolbookOptions{P: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.F, res.Report.BW
+	}
+	f4, bw4 := run(4)
+	f16, bw16 := run(16)
+	if r := float64(f4) / float64(f16); r < 3.0 || r > 5.5 {
+		t.Errorf("F ratio P=4/P=16 = %.2f, want ≈ 4 (Θ(n²/P))", r)
+	}
+	// The per-processor word volume stays within the same ballpark at these
+	// tiny grids (the binomial-tree log factor offsets the 1/√P shrink);
+	// guard against gross blowups only.
+	if float64(bw16) > 2.5*float64(bw4) {
+		t.Errorf("per-processor BW blew up with P: %d -> %d", bw4, bw16)
+	}
+}

@@ -1,0 +1,241 @@
+package points
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/rat"
+)
+
+// MultiPoint is an evaluation point in F^l for multivariate polynomials —
+// the setting of the paper's multi-step traversal (Sections 4.3 and 6),
+// where l merged BFS steps turn Toom-Cook-k into a multiplication of
+// l-variable polynomials (Claim 2.1).
+type MultiPoint []rat.Rat
+
+// MultiPointInt64 builds a MultiPoint from small integer coordinates.
+func MultiPointInt64(coords ...int64) MultiPoint {
+	p := make(MultiPoint, len(coords))
+	for i, c := range coords {
+		p[i] = rat.FromInt64(c)
+	}
+	return p
+}
+
+// Equal reports coordinate-wise equality.
+func (p MultiPoint) Equal(q MultiPoint) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !p[i].Equal(q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p MultiPoint) String() string {
+	s := "("
+	for i, c := range p {
+		if i > 0 {
+			s += ","
+		}
+		s += c.String()
+	}
+	return s + ")"
+}
+
+// Monomials enumerates the exponent tuples of Poly_{r,l} (Definition 2.4):
+// all e ∈ [0, r-1]^l, in lexicographic order with the first variable most
+// significant. There are r^l of them.
+func Monomials(r, l int) [][]int {
+	if r < 1 || l < 1 {
+		panic("points: Monomials needs r, l >= 1")
+	}
+	total := 1
+	for i := 0; i < l; i++ {
+		total *= r
+	}
+	out := make([][]int, total)
+	for idx := 0; idx < total; idx++ {
+		e := make([]int, l)
+		v := idx
+		for i := l - 1; i >= 0; i-- {
+			e[i] = v % r
+			v /= r
+		}
+		out[idx] = e
+	}
+	return out
+}
+
+// MultiEvalMatrix returns the len(pts)×r^l evaluation matrix of pts for
+// Poly_{r,l}: entry (i, m) is the m-th monomial evaluated at pts[i].
+func MultiEvalMatrix(pts []MultiPoint, r, l int) *mat.Matrix {
+	mons := Monomials(r, l)
+	m := mat.New(len(pts), len(mons))
+	for i, p := range pts {
+		if len(p) != l {
+			panic(fmt.Sprintf("points: point %v has %d coordinates, want %d", p, len(p), l))
+		}
+		for j, e := range mons {
+			v := rat.One()
+			for d := 0; d < l; d++ {
+				v = v.Mul(p[d].Pow(e[d]))
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// InGeneralPosition reports whether pts is in (r, l)-general position
+// (Definition 6.1): the only polynomial of Poly_{r,l} vanishing on any
+// r^l-subset is zero — equivalently (Claim 6.1), every r^l×r^l submatrix of
+// the evaluation matrix is invertible. Exponential in subset count; intended
+// for the small parameter ranges of the paper (k, l, f all small).
+func InGeneralPosition(pts []MultiPoint, r, l int) bool {
+	n := 1
+	for i := 0; i < l; i++ {
+		n *= r
+	}
+	if len(pts) < n {
+		// Fewer than r^l points: the condition is on the full evaluation
+		// matrix being injective as far as it goes; the paper only uses the
+		// property for |S| >= r^l, so we check full row independence.
+		return MultiEvalMatrix(pts, r, l).Rank() == len(pts)
+	}
+	full := MultiEvalMatrix(pts, r, l)
+	for _, sub := range subsets(len(pts), n) {
+		if full.SelectRows(sub).Det().IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// TensorPoints returns S^l — the l-fold Cartesian power of a univariate
+// point set (finite points only). By Claim 2.1 these are exactly the
+// evaluation points of an l-step Toom-Cook run, and by Claim 2.2 they are in
+// (r, l)-general position whenever |S| >= r distinct values are used.
+func TensorPoints(base []rat.Rat, l int) []MultiPoint {
+	if l < 1 {
+		panic("points: TensorPoints needs l >= 1")
+	}
+	out := []MultiPoint{{}}
+	for d := 0; d < l; d++ {
+		next := make([]MultiPoint, 0, len(out)*len(base))
+		for _, p := range out {
+			for _, v := range base {
+				q := make(MultiPoint, len(p)+1)
+				copy(q, p)
+				q[len(p)] = v
+				next = append(next, q)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// FindRedundant implements the heuristic of Section 6.2: starting from a set
+// S in (r, l)-general position, it adds `count` integer points one at a
+// time, each time scanning small integer candidates x ∈ Z^l and keeping the
+// first x for which S ∪ {x} remains in general position. Claims 6.4/6.5
+// guarantee such x exists (candidates outside a null set work), so the scan
+// terminates for a large enough search box; maxCoord bounds the box and an
+// error is returned if it is exhausted.
+func FindRedundant(s []MultiPoint, r, l, count int, maxCoord int64) ([]MultiPoint, error) {
+	if !InGeneralPosition(s, r, l) {
+		return nil, fmt.Errorf("points: seed set is not in (%d,%d)-general position", r, l)
+	}
+	cur := make([]MultiPoint, len(s))
+	copy(cur, s)
+	var added []MultiPoint
+	for len(added) < count {
+		found := false
+	search:
+		for radius := int64(0); radius <= maxCoord; radius++ {
+			for _, cand := range boxShell(l, radius) {
+				if containsPoint(cur, cand) {
+					continue
+				}
+				trial := append(append([]MultiPoint{}, cur...), cand)
+				if inGeneralPositionIncremental(cur, cand, r, l) {
+					cur = trial
+					added = append(added, cand)
+					found = true
+					break search
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("points: no candidate within coordinate bound %d extends the set", maxCoord)
+		}
+	}
+	return added, nil
+}
+
+// inGeneralPositionIncremental checks only the subsets that involve the new
+// point x (Claim 6.2: if every (r^l-1)-subset P of S gives q_P(x) != 0, the
+// extended set is in general position). This is the incremental form of the
+// heuristic and avoids re-checking subsets of the already-valid S.
+func inGeneralPositionIncremental(s []MultiPoint, x MultiPoint, r, l int) bool {
+	n := 1
+	for i := 0; i < l; i++ {
+		n *= r
+	}
+	if len(s)+1 < n {
+		all := append(append([]MultiPoint{}, s...), x)
+		return MultiEvalMatrix(all, r, l).Rank() == len(all)
+	}
+	for _, sub := range subsets(len(s), n-1) {
+		pts := make([]MultiPoint, 0, n)
+		for _, i := range sub {
+			pts = append(pts, s[i])
+		}
+		pts = append(pts, x)
+		if MultiEvalMatrix(pts, r, l).Det().IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPoint(s []MultiPoint, p MultiPoint) bool {
+	for _, q := range s {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// boxShell enumerates integer points in Z^l whose max-norm is exactly radius
+// (the shell of the box), so FindRedundant prefers small coordinates —
+// smaller evaluation points mean cheaper arithmetic, the practical
+// optimization the paper's Section 7 calls out.
+func boxShell(l int, radius int64) []MultiPoint {
+	var out []MultiPoint
+	coords := make([]int64, l)
+	var rec func(d int, onShell bool)
+	rec = func(d int, onShell bool) {
+		if d == l {
+			if onShell || radius == 0 {
+				p := make(MultiPoint, l)
+				for i, c := range coords {
+					p[i] = rat.FromInt64(c)
+				}
+				out = append(out, p)
+			}
+			return
+		}
+		for c := -radius; c <= radius; c++ {
+			coords[d] = c
+			rec(d+1, onShell || c == radius || c == -radius)
+		}
+	}
+	rec(0, false)
+	return out
+}

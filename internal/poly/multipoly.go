@@ -1,0 +1,142 @@
+package poly
+
+import (
+	"fmt"
+
+	"repro/internal/bigint"
+	"repro/internal/points"
+	"repro/internal/rat"
+)
+
+// MultiPoly is a dense multivariate polynomial in Poly_{r,l} (Definition
+// 2.4): l variables, the exponent of each variable below r in every
+// monomial. Coefficients are indexed by the monomial order of
+// points.Monomials(r, l) (lexicographic, first variable most significant).
+//
+// This is the algebraic object lazy-interpolation Toom-Cook multiplies
+// (Claim 2.1): an l-level recursion over base k corresponds to an l-variable
+// polynomial with per-variable degree < k.
+type MultiPoly struct {
+	R, L   int
+	Coeffs []bigint.Int // length R^L
+}
+
+// NewMulti returns the zero polynomial of Poly_{r,l}.
+func NewMulti(r, l int) *MultiPoly {
+	n := 1
+	for i := 0; i < l; i++ {
+		n *= r
+	}
+	c := make([]bigint.Int, n)
+	return &MultiPoly{R: r, L: l, Coeffs: c}
+}
+
+// FromDigits interprets a digit vector (length k^l, digit i of the base-B
+// expansion at index i) as the multivariate polynomial of Claim 2.1, where
+// variable y_j stands for B^{k^{l-j}}. The digit index written in base k
+// gives the exponent tuple directly, so this is just a re-indexing.
+func FromDigits(digits []bigint.Int, k, l int) (*MultiPoly, error) {
+	n := 1
+	for i := 0; i < l; i++ {
+		n *= k
+	}
+	if len(digits) != n {
+		return nil, fmt.Errorf("poly: FromDigits needs %d digits, got %d", n, len(digits))
+	}
+	m := NewMulti(k, l)
+	copy(m.Coeffs, digits)
+	return m, nil
+}
+
+// Eval evaluates m at a point in F^l.
+func (m *MultiPoly) Eval(p points.MultiPoint) rat.Rat {
+	if len(p) != m.L {
+		panic("poly: MultiPoly.Eval dimension mismatch")
+	}
+	mons := points.Monomials(m.R, m.L)
+	acc := rat.Zero()
+	for idx, e := range mons {
+		if m.Coeffs[idx].IsZero() {
+			continue
+		}
+		v := rat.FromInt(m.Coeffs[idx])
+		for d := 0; d < m.L; d++ {
+			v = v.Mul(p[d].Pow(e[d]))
+		}
+		acc = acc.Add(v)
+	}
+	return acc
+}
+
+// Mul returns the product of m and n in Poly_{2r-1, l}; both operands must
+// share r and l. This is the direct (schoolbook) multivariate product used
+// as the oracle for multi-step Toom-Cook.
+func (m *MultiPoly) Mul(n *MultiPoly) *MultiPoly {
+	if m.R != n.R || m.L != n.L {
+		panic("poly: MultiPoly.Mul shape mismatch")
+	}
+	r2 := 2*m.R - 1
+	z := NewMulti(r2, m.L)
+	monsA := points.Monomials(m.R, m.L)
+	for ia, ea := range monsA {
+		ca := m.Coeffs[ia]
+		if ca.IsZero() {
+			continue
+		}
+		for ib, eb := range monsA {
+			cb := n.Coeffs[ib]
+			if cb.IsZero() {
+				continue
+			}
+			// Index of the summed exponent tuple in base (2r-1).
+			idx := 0
+			for d := 0; d < m.L; d++ {
+				idx = idx*r2 + ea[d] + eb[d]
+			}
+			z.Coeffs[idx] = z.Coeffs[idx].Add(ca.Mul(cb))
+		}
+	}
+	return z
+}
+
+// EvalBase2Tower evaluates m with variable y_j set to 2^{shift·k^{l-j}} —
+// the final recomposition of lazy-interpolation Toom-Cook, where the digits
+// were split in base 2^shift and the tower of variables stands for the
+// nested digit bases. Works for any R (inputs use R=k, products R=2k-1).
+func (m *MultiPoly) EvalBase2Tower(k, shift int) bigint.Int {
+	mons := points.Monomials(m.R, m.L)
+	acc := bigint.Zero()
+	// Weight of variable d (0-based, most significant first): k^{l-1-d}·shift bits.
+	weights := make([]int, m.L)
+	w := 1
+	for d := m.L - 1; d >= 0; d-- {
+		weights[d] = w * shift
+		w *= k
+	}
+	for idx, e := range mons {
+		c := m.Coeffs[idx]
+		if c.IsZero() {
+			continue
+		}
+		bits := 0
+		for d := 0; d < m.L; d++ {
+			bits += e[d] * weights[d]
+		}
+		acc = acc.Add(c.Shl(uint(bits)))
+	}
+	return acc
+}
+
+// Equal reports whether m and n are identical polynomials (same shape and
+// coefficients).
+func (m *MultiPoly) Equal(n *MultiPoly) bool {
+	if m.R != n.R || m.L != n.L || len(m.Coeffs) != len(n.Coeffs) {
+		return false
+	}
+	for i := range m.Coeffs {
+		if !m.Coeffs[i].Equal(n.Coeffs[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+// Package poly implements exact univariate and multivariate polynomial
+// arithmetic over the repository's big integers.
+//
+// Toom-Cook *is* polynomial multiplication (Section 2.2): the inputs are
+// split into digit polynomials p_a, p_b and the product polynomial r = p_a·p_b
+// is recovered by evaluation and interpolation. This package provides the
+// direct (convolution) polynomial product used as an oracle in tests, the
+// evaluation primitives, and the multivariate view of lazy-interpolation
+// Toom-Cook (Claim 2.1).
+package poly
+
+import (
+	"strings"
+
+	"repro/internal/bigint"
+	"repro/internal/rat"
+)
+
+// Poly is a univariate polynomial with integer coefficients, coefficient of
+// x^i at index i. The canonical form has no trailing zero coefficients; the
+// zero polynomial is the empty slice.
+type Poly []bigint.Int
+
+// New builds a polynomial from coefficients (constant term first) and
+// normalizes it.
+func New(coeffs ...bigint.Int) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p.norm()
+}
+
+// FromInt64s builds a polynomial from small integer coefficients.
+func FromInt64s(coeffs ...int64) Poly {
+	p := make(Poly, len(coeffs))
+	for i, c := range coeffs {
+		p[i] = bigint.FromInt64(c)
+	}
+	return p.norm()
+}
+
+func (p Poly) norm() Poly {
+	n := len(p)
+	for n > 0 && p[n-1].IsZero() {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p (-1 for the zero polynomial).
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p) == 0 }
+
+// Coeff returns the coefficient of x^i (zero beyond the degree).
+func (p Poly) Coeff(i int) bigint.Int {
+	if i < 0 || i >= len(p) {
+		return bigint.Zero()
+	}
+	return p[i]
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	z := make(Poly, n)
+	for i := range z {
+		z[i] = p.Coeff(i).Add(q.Coeff(i))
+	}
+	return z.norm()
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	z := make(Poly, n)
+	for i := range z {
+		z[i] = p.Coeff(i).Sub(q.Coeff(i))
+	}
+	return z.norm()
+}
+
+// Mul returns p · q by direct convolution — the Θ(deg²) oracle against which
+// the Toom-Cook identities are verified.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return nil
+	}
+	z := make(Poly, len(p)+len(q)-1)
+	for i := range z {
+		z[i] = bigint.Zero()
+	}
+	for i, pi := range p {
+		if pi.IsZero() {
+			continue
+		}
+		for j, qj := range q {
+			z[i+j] = z[i+j].Add(pi.Mul(qj))
+		}
+	}
+	return z.norm()
+}
+
+// Scale returns p scaled by the integer c.
+func (p Poly) Scale(c bigint.Int) Poly {
+	z := make(Poly, len(p))
+	for i := range p {
+		z[i] = p[i].Mul(c)
+	}
+	return z.norm()
+}
+
+// Eval evaluates p at the integer v (Horner).
+func (p Poly) Eval(v bigint.Int) bigint.Int {
+	acc := bigint.Zero()
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc.Mul(v).Add(p[i])
+	}
+	return acc
+}
+
+// EvalRat evaluates p at a rational point.
+func (p Poly) EvalRat(v rat.Rat) rat.Rat {
+	acc := rat.Zero()
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc.Mul(v).Add(rat.FromInt(p[i]))
+	}
+	return acc
+}
+
+// EvalHomogeneous evaluates p, viewed as the degree-(width-1) homogeneous
+// polynomial with p's coefficients, at the projective point (x : h):
+// Σ p_i · h^{width-1-i} · x^i. This matches points.Point.Row.
+func (p Poly) EvalHomogeneous(x, h rat.Rat, width int) rat.Rat {
+	acc := rat.Zero()
+	for i := 0; i < width; i++ {
+		term := rat.FromInt(p.Coeff(i)).Mul(h.Pow(width - 1 - i)).Mul(x.Pow(i))
+		acc = acc.Add(term)
+	}
+	return acc
+}
+
+// EvalBase2 evaluates p at 2^shift via shift-and-add — the recomposition
+// c = Σ c_i B^i for B = 2^shift (Algorithm 1, line 16).
+func (p Poly) EvalBase2(shift int) bigint.Int {
+	acc := bigint.Zero()
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc.Shl(uint(shift)).Add(p[i])
+	}
+	return acc
+}
+
+// Equal reports whether p and q are the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	p, q = p.norm(), q.norm()
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !p[i].Equal(q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p as a human-readable polynomial in x.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := len(p) - 1; i >= 0; i-- {
+		c := p[i]
+		if c.IsZero() {
+			continue
+		}
+		if !first {
+			if c.Sign() > 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+				c = c.Neg()
+			}
+		}
+		first = false
+		switch {
+		case i == 0:
+			b.WriteString(c.String())
+		case c.Equal(bigint.One()):
+			// coefficient 1 omitted
+		case c.Equal(bigint.FromInt64(-1)):
+			b.WriteString("-")
+		default:
+			b.WriteString(c.String())
+		}
+		if i > 0 {
+			b.WriteString("x")
+			if i > 1 {
+				b.WriteString("^")
+				b.WriteString(itoa(i))
+			}
+		}
+	}
+	return b.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// SplitInt splits a non-negative integer into its k base-2^shift digits as a
+// polynomial: p(2^shift) == v with 0 <= p_i < 2^shift. This is Algorithm 1's
+// line 4 (digit split) expressed as a polynomial construction.
+func SplitInt(v bigint.Int, k, shift int) Poly {
+	if v.Sign() < 0 {
+		panic("poly: SplitInt of negative integer")
+	}
+	p := make(Poly, k)
+	for i := 0; i < k; i++ {
+		p[i] = v.Extract(i*shift, shift)
+	}
+	return p.norm()
+}

@@ -1,0 +1,204 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bigint"
+	"repro/internal/points"
+	"repro/internal/rat"
+)
+
+func randPoly(rng *rand.Rand, maxDeg, coefBits int) Poly {
+	deg := rng.Intn(maxDeg + 1)
+	p := make(Poly, deg+1)
+	for i := range p {
+		c := bigint.Random(rng, 1+rng.Intn(coefBits))
+		if rng.Intn(2) == 0 {
+			c = c.Neg()
+		}
+		p[i] = c
+	}
+	return p.norm()
+}
+
+func TestNormalization(t *testing.T) {
+	p := FromInt64s(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", p.Degree())
+	}
+	if !FromInt64s(0, 0).IsZero() {
+		t.Fatal("all-zero should normalize to zero polynomial")
+	}
+	if FromInt64s().Degree() != -1 {
+		t.Fatal("zero polynomial degree should be -1")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := FromInt64s(1, 2, 3)
+	q := FromInt64s(4, -2, -3)
+	if got := p.Add(q); !got.Equal(FromInt64s(5)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(p); !got.IsZero() {
+		t.Errorf("p - p = %v", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// (x+1)(x-1) = x^2 - 1
+	p := FromInt64s(1, 1)
+	q := FromInt64s(-1, 1)
+	if got := p.Mul(q); !got.Equal(FromInt64s(-1, 0, 1)) {
+		t.Errorf("(x+1)(x-1) = %v", got)
+	}
+	if !p.Mul(Poly{}).IsZero() {
+		t.Error("p · 0 != 0")
+	}
+}
+
+func TestMulEvalHomomorphism(t *testing.T) {
+	// eval(p·q, v) == eval(p,v)·eval(q,v) — the identity Toom-Cook exploits.
+	rng := rand.New(rand.NewSource(21))
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(int) bool {
+		p, q := randPoly(rng, 6, 40), randPoly(rng, 6, 40)
+		v := bigint.FromInt64(rng.Int63n(41) - 20)
+		return p.Mul(q).Eval(v).Equal(p.Eval(v).Mul(q.Eval(v)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalHomogeneous(t *testing.T) {
+	p := FromInt64s(3, 0, 5) // 5x^2 + 3
+	// Width 3 at (x:h) = (2:1): 3·1 + 0·2 + 5·4 = 23.
+	got := p.EvalHomogeneous(rat.FromInt64(2), rat.One(), 3)
+	if !got.Equal(rat.FromInt64(23)) {
+		t.Errorf("EvalHomogeneous = %v", got)
+	}
+	// At ∞ = (1:0) picks the leading (width-1) coefficient: 5.
+	got = p.EvalHomogeneous(rat.One(), rat.Zero(), 3)
+	if !got.Equal(rat.FromInt64(5)) {
+		t.Errorf("EvalHomogeneous at inf = %v", got)
+	}
+}
+
+func TestEvalBase2(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 100; i++ {
+		p := randPoly(rng, 5, 60)
+		shift := 1 + rng.Intn(70)
+		want := p.Eval(bigint.One().Shl(uint(shift)))
+		if got := p.EvalBase2(shift); !got.Equal(want) {
+			t.Fatalf("EvalBase2(%d) = %v, want %v", shift, got, want)
+		}
+	}
+}
+
+func TestSplitIntRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		v := bigint.Random(rng, 1+rng.Intn(500))
+		k := 2 + rng.Intn(6)
+		shift := (v.BitLen() + k - 1) / k
+		if shift == 0 {
+			shift = 1
+		}
+		p := SplitInt(v, k, shift)
+		if got := p.EvalBase2(shift); !got.Equal(v) {
+			t.Fatalf("SplitInt round trip failed: v=%v k=%d shift=%d", v, k, shift)
+		}
+		for i := range p {
+			if p[i].Sign() < 0 || p[i].BitLen() > shift {
+				t.Fatalf("digit %d out of range", i)
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{FromInt64s(), "0"},
+		{FromInt64s(5), "5"},
+		{FromInt64s(0, 1), "x"},
+		{FromInt64s(-1, 0, 1), "x^2 - 1"},
+		{FromInt64s(2, -3, 1), "x^2 - 3x + 2"},
+		{FromInt64s(0, -1), "-x"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v coeffs) = %q, want %q", []bigint.Int(c.p), got, c.want)
+		}
+	}
+}
+
+func TestMultiPolyFromDigits(t *testing.T) {
+	// 4 digits, k=2, l=2: digit j ↦ monomial (j written in base 2).
+	digits := []bigint.Int{bigint.FromInt64(10), bigint.FromInt64(11), bigint.FromInt64(12), bigint.FromInt64(13)}
+	m, err := FromDigits(digits, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate at y1=B1, y2=B2 and compare with direct digit sum:
+	// value = d0 + d1·y2 + d2·y1 + d3·y1·y2 with y1 most significant.
+	p := points.MultiPoint{rat.FromInt64(100), rat.FromInt64(10)}
+	want := rat.FromInt64(10 + 11*10 + 12*100 + 13*1000)
+	if got := m.Eval(p); !got.Equal(want) {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+	if _, err := FromDigits(digits[:3], 2, 2); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestMultiPolyMulMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 30; trial++ {
+		k, l := 2, 2
+		a := NewMulti(k, l)
+		b := NewMulti(k, l)
+		for i := range a.Coeffs {
+			a.Coeffs[i] = bigint.FromInt64(rng.Int63n(201) - 100)
+			b.Coeffs[i] = bigint.FromInt64(rng.Int63n(201) - 100)
+		}
+		prod := a.Mul(b)
+		pt := points.MultiPoint{rat.FromInt64(rng.Int63n(11) - 5), rat.FromInt64(rng.Int63n(11) - 5)}
+		want := a.Eval(pt).Mul(b.Eval(pt))
+		if got := prod.Eval(pt); !got.Equal(want) {
+			t.Fatalf("product eval mismatch at %v", pt)
+		}
+	}
+}
+
+func TestMultiPolyTowerMatchesIntegerProduct(t *testing.T) {
+	// Claim 2.1 end-to-end: splitting integers into k^l digits, multiplying
+	// the multivariate polynomials, and evaluating the tower reproduces the
+	// integer product.
+	rng := rand.New(rand.NewSource(25))
+	k, l, shift := 2, 2, 16
+	for trial := 0; trial < 50; trial++ {
+		x := bigint.Random(rng, shift*4)
+		y := bigint.Random(rng, shift*4)
+		px := SplitInt(x, 4, shift)
+		py := SplitInt(y, 4, shift)
+		dx := make([]bigint.Int, 4)
+		dy := make([]bigint.Int, 4)
+		for i := 0; i < 4; i++ {
+			dx[i], dy[i] = px.Coeff(i), py.Coeff(i)
+		}
+		mx, _ := FromDigits(dx, k, l)
+		my, _ := FromDigits(dy, k, l)
+		prod := mx.Mul(my)
+		got := prod.EvalBase2Tower(k, shift)
+		if want := x.Mul(y); !got.Equal(want) {
+			t.Fatalf("tower eval = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package softfault
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigint"
+)
+
+func randOperand(rng *rand.Rand, bits int) bigint.Int {
+	return bigint.Random(rng, bits)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := New(2, -1); err == nil {
+		t.Error("negative f should fail")
+	}
+}
+
+func TestVerifyClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := []bigint.Int{bigint.FromInt64(rng.Int63n(1000)), bigint.FromInt64(rng.Int63n(1000)), bigint.FromInt64(rng.Int63n(1000))}
+	db := []bigint.Int{bigint.FromInt64(rng.Int63n(1000)), bigint.FromInt64(rng.Int63n(1000)), bigint.FromInt64(rng.Int63n(1000))}
+	vals := c.Products(da, db)
+	ok, err := c.Verify(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("clean vector rejected")
+	}
+}
+
+func TestVerifyDetectsEverySinglePosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	c, _ := New(2, 1)
+	da := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	db := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	vals := c.Products(da, db)
+	for pos := range vals {
+		bad := append([]bigint.Int(nil), vals...)
+		bad[pos] = bad[pos].Add(bigint.FromInt64(1 + rng.Int63n(1000)))
+		ok, err := c.Verify(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("corruption at %d undetected", pos)
+		}
+	}
+}
+
+func TestCorrectSingleError(t *testing.T) {
+	// f=2 → correction radius 1: every single corrupted product must be
+	// repaired and localized.
+	rng := rand.New(rand.NewSource(133))
+	c, err := New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := []bigint.Int{bigint.Random(rng, 80), bigint.Random(rng, 80)}
+	db := []bigint.Int{bigint.Random(rng, 80), bigint.Random(rng, 80)}
+	clean := c.Products(da, db)
+	want, _, err := c.Correct(append([]bigint.Int(nil), clean...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range clean {
+		vals := append([]bigint.Int(nil), clean...)
+		vals[pos] = vals[pos].Sub(bigint.Random(rng, 60))
+		got, bad, err := c.Correct(vals)
+		if err != nil {
+			t.Fatalf("position %d: %v", pos, err)
+		}
+		if len(bad) != 1 || bad[0] != pos {
+			t.Fatalf("position %d: located %v", pos, bad)
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("position %d: coefficient %d wrong", pos, i)
+			}
+		}
+	}
+}
+
+func TestCorrectTwoErrors(t *testing.T) {
+	// f=4 → radius 2.
+	rng := rand.New(rand.NewSource(134))
+	c, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	db := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	clean := c.Products(da, db)
+	vals := append([]bigint.Int(nil), clean...)
+	vals[1] = vals[1].Add(bigint.FromInt64(7777))
+	vals[5] = vals[5].Neg()
+	_, bad, err := c.Correct(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 2 || bad[0] != 1 || bad[1] != 5 {
+		t.Fatalf("located %v, want [1 5]", bad)
+	}
+}
+
+func TestCorrectRejectsOverload(t *testing.T) {
+	// Three errors against radius 1 must be flagged, never mis-corrected.
+	rng := rand.New(rand.NewSource(135))
+	c, _ := New(2, 2)
+	da := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	db := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	vals := c.Products(da, db)
+	truth, _, _ := c.Correct(append([]bigint.Int(nil), vals...))
+	for i := 0; i < 3; i++ {
+		vals[i] = vals[i].Add(bigint.FromInt64(int64(1000 + i)))
+	}
+	got, _, err := c.Correct(vals)
+	if err == nil {
+		// A successful decode is only acceptable if it found the truth
+		// (possible if corruptions landed on a valid codeword, measure zero).
+		for i := range truth {
+			if !got[i].Equal(truth[i]) {
+				t.Fatal("overload mis-corrected to a wrong polynomial")
+			}
+		}
+	}
+}
+
+func TestDetectionOnlyWithSmallF(t *testing.T) {
+	rng := rand.New(rand.NewSource(136))
+	c, _ := New(2, 1)
+	da := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	db := []bigint.Int{bigint.Random(rng, 64), bigint.Random(rng, 64)}
+	vals := c.Products(da, db)
+	vals[0] = vals[0].Add(bigint.One())
+	if _, _, err := c.Correct(vals); err == nil {
+		t.Fatal("f=1 cannot correct; expected explicit error")
+	}
+}
+
+func TestMulWithSoftFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		a := randOperand(rng, 2048)
+		b := randOperand(rng, 2048)
+		if trial%2 == 0 {
+			a = a.Neg()
+		}
+		want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+		pos := rng.Intn(c.F + 2*c.K - 1)
+		got, bad, err := c.MulWithSoftFaults(a, b, map[int]bigint.Int{
+			pos: bigint.Random(rng, 100),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.ToBig().Cmp(want) != 0 {
+			t.Fatalf("trial %d: wrong product despite correction", trial)
+		}
+		if len(bad) != 1 || bad[0] != pos {
+			t.Fatalf("trial %d: located %v, want [%d]", trial, bad, pos)
+		}
+	}
+}
+
+func TestMulWithSoftFaultsClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(138))
+	c, _ := New(2, 2)
+	a, b := randOperand(rng, 1024), randOperand(rng, 1024)
+	got, bad, err := c.MulWithSoftFaults(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean run flagged %v", bad)
+	}
+	want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+	if got.ToBig().Cmp(want) != 0 {
+		t.Fatal("clean product wrong")
+	}
+}
+
+func TestZeroOperand(t *testing.T) {
+	c, _ := New(2, 2)
+	got, _, err := c.MulWithSoftFaults(bigint.Zero(), bigint.FromInt64(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsZero() {
+		t.Fatalf("0·9 = %v", got)
+	}
+}

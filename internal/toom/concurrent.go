@@ -1,0 +1,64 @@
+package toom
+
+import (
+	"sync"
+
+	"repro/internal/bigint"
+)
+
+// MulConcurrent returns a·b like Mul, but computes the 2k-1 pointwise
+// products of the top `depth` recursion levels in parallel goroutines —
+// real host parallelism, as opposed to the simulated machine of
+// internal/parallel. With depth d it fans out up to (2k-1)^d concurrent
+// leaf multiplications; depth 0 is exactly Mul.
+//
+// This is the "shared-memory" face of the same BFS fan-out the paper
+// parallelizes across distributed processors: the recursion tree's
+// sub-products are independent.
+func (alg *Algorithm) MulConcurrent(a, b bigint.Int, depth int) bigint.Int {
+	neg := a.Sign()*b.Sign() < 0
+	z := alg.mulAbsConcurrent(a.Abs(), b.Abs(), depth)
+	if neg {
+		z = z.Neg()
+	}
+	return z
+}
+
+func (alg *Algorithm) mulAbsConcurrent(a, b bigint.Int, depth int) bigint.Int {
+	if a.IsZero() || b.IsZero() {
+		return bigint.Zero()
+	}
+	maxBits := a.BitLen()
+	if b.BitLen() > maxBits {
+		maxBits = b.BitLen()
+	}
+	if depth <= 0 || maxBits <= alg.thresholdBits {
+		return alg.mulAbs(a, b, nil)
+	}
+	k := alg.k
+	shift := (maxBits + k - 1) / k
+	da := splitDigits(a, k, shift)
+	db := splitDigits(b, k, shift)
+	ea := alg.EvalDigits(da, nil)
+	eb := alg.EvalDigits(db, nil)
+
+	prods := make([]bigint.Int, 2*k-1)
+	var wg sync.WaitGroup
+	for i := range prods {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x, y := ea[i], eb[i]
+			n := x.Sign()*y.Sign() < 0
+			z := alg.mulAbsConcurrent(x.Abs(), y.Abs(), depth-1)
+			if n {
+				z = z.Neg()
+			}
+			prods[i] = z
+		}(i)
+	}
+	wg.Wait()
+
+	coeffs := alg.Interpolate(prods, nil)
+	return Recompose(coeffs, shift)
+}

@@ -1,0 +1,49 @@
+package toom
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestMulConcurrentMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for _, k := range []int{2, 3} {
+		alg := MustNew(k)
+		for _, depth := range []int{0, 1, 2, 3} {
+			for trial := 0; trial < 10; trial++ {
+				a := randOperand(rng, 1<<14)
+				b := randOperand(rng, 1<<14)
+				want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+				if got := alg.MulConcurrent(a, b, depth).ToBig(); got.Cmp(want) != 0 {
+					t.Fatalf("k=%d depth=%d trial=%d: mismatch", k, depth, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestMulConcurrentZero(t *testing.T) {
+	alg := MustNew(3)
+	if !alg.MulConcurrent(randOperand(rand.New(rand.NewSource(1)), 64).Sub(randOperand(rand.New(rand.NewSource(1)), 64)), randOperand(rand.New(rand.NewSource(2)), 64), 2).IsZero() {
+		t.Error("0 · x != 0")
+	}
+}
+
+func BenchmarkMulConcurrent(b *testing.B) {
+	rng := rand.New(rand.NewSource(182))
+	alg := MustNew(3)
+	x := randOperand(rng, 1<<19).Abs()
+	y := randOperand(rng, 1<<19).Abs()
+	for _, depth := range []int{0, 2} {
+		name := "sequential"
+		if depth > 0 {
+			name = "fanout-2-levels"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = alg.MulConcurrent(x, y, depth)
+			}
+		})
+	}
+}

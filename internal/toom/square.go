@@ -1,0 +1,53 @@
+package toom
+
+import "repro/internal/bigint"
+
+// Square returns a² via Toom-Cook-k with a single evaluation pass: both
+// "operands" share their digit vector and evaluations, halving the
+// evaluation work relative to Mul(a, a) (the squaring specialization of
+// Zuras's "On squaring and multiplying large integers", cited by the
+// paper's Section 1.1).
+func (alg *Algorithm) Square(a bigint.Int) bigint.Int {
+	return alg.SquareWithStats(a, nil)
+}
+
+// SquareWithStats is Square with operation counting; stats may be nil.
+func (alg *Algorithm) SquareWithStats(a bigint.Int, stats *Stats) bigint.Int {
+	return alg.squareAbs(a.Abs(), stats)
+}
+
+func (alg *Algorithm) squareAbs(a bigint.Int, stats *Stats) bigint.Int {
+	if a.IsZero() {
+		return bigint.Zero()
+	}
+	maxBits := a.BitLen()
+	if maxBits <= alg.thresholdBits {
+		if stats != nil {
+			stats.BaseMuls++
+			stats.chargeWords(wordsOf(a) * wordsOf(a))
+		}
+		return a.Mul(a)
+	}
+	if stats != nil {
+		stats.RecursiveCalls++
+	}
+	k := alg.k
+	shift := (maxBits + k - 1) / k
+	da := splitDigits(a, k, shift)
+
+	// One evaluation instead of two.
+	ea := alg.EvalDigits(da, stats)
+
+	prods := make([]bigint.Int, 2*k-1)
+	for i := range prods {
+		prods[i] = alg.squareAbs(ea[i].Abs(), stats)
+	}
+
+	coeffs := alg.Interpolate(prods, stats)
+	if stats != nil {
+		for _, c := range coeffs {
+			stats.chargeWords(wordsOf(c))
+		}
+	}
+	return Recompose(coeffs, shift)
+}

@@ -1,0 +1,53 @@
+package toom
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestSquareMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for _, k := range []int{2, 3, 4} {
+		alg := MustNew(k)
+		for trial := 0; trial < 25; trial++ {
+			a := randOperand(rng, 1<<14)
+			want := new(big.Int).Mul(a.ToBig(), a.ToBig())
+			if got := alg.Square(a).ToBig(); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d trial %d: Square mismatch", k, trial)
+			}
+		}
+	}
+}
+
+func TestSquareCheaperThanMul(t *testing.T) {
+	// One evaluation pass instead of two: the word-operation count must be
+	// strictly below Mul(a, a)'s.
+	rng := rand.New(rand.NewSource(172))
+	for _, k := range []int{2, 3} {
+		alg := MustNew(k)
+		a := randOperand(rng, 1<<15).Abs()
+		var sq, mul Stats
+		r1 := alg.SquareWithStats(a, &sq)
+		r2 := alg.MulWithStats(a, a, &mul)
+		if !r1.Equal(r2) {
+			t.Fatalf("k=%d: Square != Mul(a,a)", k)
+		}
+		if sq.WordOps >= mul.WordOps {
+			t.Errorf("k=%d: Square should cost less: %d vs %d word ops", k, sq.WordOps, mul.WordOps)
+		}
+	}
+}
+
+func TestSquareEdges(t *testing.T) {
+	alg := MustNew(3)
+	if !alg.Square(randOperand(rand.New(rand.NewSource(1)), 1).Abs().Sub(randOperand(rand.New(rand.NewSource(1)), 1).Abs())).IsZero() {
+		t.Error("Square(0) != 0")
+	}
+	// Negative input: square is positive.
+	a := randOperand(rand.New(rand.NewSource(173)), 4096).Abs().Neg()
+	want := new(big.Int).Mul(a.ToBig(), a.ToBig())
+	if got := alg.Square(a).ToBig(); got.Cmp(want) != 0 {
+		t.Error("Square of negative wrong")
+	}
+}

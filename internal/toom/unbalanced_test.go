@@ -1,0 +1,96 @@
+package toom
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigint"
+)
+
+func TestUnbalancedValidation(t *testing.T) {
+	if _, err := NewUnbalanced(1, 1, nil); err == nil {
+		t.Error("k1=1 should fail")
+	}
+	if _, err := NewUnbalanced(2, 3, nil); err == nil {
+		t.Error("k1 < k2 should fail")
+	}
+	if _, err := NewUnbalanced(3, 0, nil); err == nil {
+		t.Error("k2=0 should fail")
+	}
+}
+
+func TestUnbalancedProductCounts(t *testing.T) {
+	// Toom-2.5 = (3,2): 4 products; (4,2): 5; (4,3): 6.
+	cases := map[[2]int]int{{3, 2}: 4, {4, 2}: 5, {4, 3}: 6, {2, 2}: 3}
+	for ks, want := range cases {
+		alg, err := NewUnbalanced(ks[0], ks[1], nil)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", ks[0], ks[1], err)
+		}
+		if got := alg.NumProducts(); got != want {
+			t.Errorf("(%d,%d): %d products, want %d", ks[0], ks[1], got, want)
+		}
+	}
+}
+
+func TestUnbalancedMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for _, ks := range [][2]int{{3, 2}, {4, 2}, {4, 3}, {5, 2}, {2, 1}} {
+		alg, err := NewUnbalanced(ks[0], ks[1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			// Operands matching the split ratio (the intended use).
+			aBits := 1 + rng.Intn(8192)
+			bBits := aBits * ks[1] / ks[0]
+			if bBits < 1 {
+				bBits = 1
+			}
+			a := bigint.Random(rng, aBits)
+			b := bigint.Random(rng, bBits)
+			if trial%3 == 0 {
+				b = b.Neg()
+			}
+			want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+			if got := alg.Mul(a, b).ToBig(); got.Cmp(want) != 0 {
+				t.Fatalf("(%d,%d) trial %d: product mismatch", ks[0], ks[1], trial)
+			}
+		}
+	}
+}
+
+func TestUnbalancedMismatchedRatioStillCorrect(t *testing.T) {
+	// Correctness must hold for any shapes, not only the intended ratio.
+	rng := rand.New(rand.NewSource(142))
+	alg, _ := NewUnbalanced(3, 2, MustNew(3))
+	for trial := 0; trial < 20; trial++ {
+		a := bigint.Random(rng, 1+rng.Intn(4096))
+		b := bigint.Random(rng, 1+rng.Intn(4096))
+		want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+		if got := alg.Mul(a, b).ToBig(); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+func TestUnbalancedZero(t *testing.T) {
+	alg, _ := NewUnbalanced(3, 2, nil)
+	if !alg.Mul(bigint.Zero(), bigint.FromInt64(5)).IsZero() {
+		t.Error("0·5 != 0")
+	}
+	if !alg.Mul(bigint.FromInt64(5), bigint.Zero()).IsZero() {
+		t.Error("5·0 != 0")
+	}
+}
+
+func TestUnbalancedSavesProductsVsBalanced(t *testing.T) {
+	// The point of Toom-2.5: a 3:2-shaped multiplication costs 4 pointwise
+	// products where balanced Toom-3 would pad to 5.
+	alg25, _ := NewUnbalanced(3, 2, nil)
+	alg3 := MustNew(3)
+	if alg25.NumProducts() >= alg3.NumProducts() {
+		t.Errorf("Toom-2.5 should use fewer products: %d vs %d", alg25.NumProducts(), alg3.NumProducts())
+	}
+}

@@ -1,0 +1,593 @@
+// Package toomgraph implements the Toom-Graph technique of Bodrato and
+// Zanoni (Definition 2.3 of the paper): expressing Toom-Cook's interpolation
+// stage as a short sequence of elementary row operations — an "inversion
+// sequence" — instead of a dense matrix product.
+//
+// The Toom-Graph is the weighted graph whose vertices are matrices and whose
+// edges are elementary row operations; an inversion sequence is a path from
+// (W^T)^{-1} (the product-polynomial evaluation matrix) to the identity.
+// Applying the same operations to the vector of pointwise products yields
+// the product-polynomial coefficients, because the accumulated operations
+// compose to exactly W^T.
+//
+// The package provides hand-optimized sequences for Karatsuba and Toom-3
+// (in the style of the GMP interpolation schedules), and Find, a bounded
+// best-first search over the Toom-Graph that discovers sequences
+// automatically — the paper's "heuristic to find a fast inversion sequence
+// relative to the cost of different elementary linear operations".
+//
+// Every operation keeps vectors exactly integral: a combine
+// row_d ← (cd·row_d + cs·row_s)/div is only legal when div divides the
+// resulting row at the matrix level, which the search enforces, so applying
+// a found sequence to genuine product evaluations never leaves ℤ.
+package toomgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"repro/internal/bigint"
+)
+
+// OpKind distinguishes elementary row operations.
+type OpKind int
+
+const (
+	// OpCombine is row[Dst] ← (CDst·row[Dst] + CSrc·row[Src]) / Div.
+	OpCombine OpKind = iota
+	// OpSwap exchanges row[Dst] and row[Src].
+	OpSwap
+)
+
+// Op is one elementary row operation of an inversion sequence.
+type Op struct {
+	Kind       OpKind
+	Dst, Src   int
+	CDst, CSrc int64 // combine coefficients (CDst is usually 1)
+	Div        int64 // exact divisor applied after the combine
+}
+
+// Cost returns the op's weight in the Toom-Graph. The weights follow the
+// spirit of Bodrato-Zanoni's cost model: plain add/sub is cheapest,
+// shift-friendly coefficients and divisors (powers of two) are cheap,
+// arbitrary small multiplies and odd divisions cost more, swaps are nearly
+// free (pointer renaming).
+func (o Op) Cost() float64 {
+	if o.Kind == OpSwap {
+		return 0.05
+	}
+	c := 0.0
+	c += coefCost(o.CSrc)
+	if o.CDst != 1 {
+		c += coefCost(o.CDst)
+	}
+	if o.Div != 1 && o.Div != -1 {
+		if isPow2(abs64(o.Div)) {
+			c += 0.4
+		} else {
+			c += 1.0
+		}
+	}
+	if c == 0 {
+		c = 0.05
+	}
+	return c
+}
+
+func coefCost(c int64) float64 {
+	switch a := abs64(c); {
+	case a == 0:
+		return 0
+	case a == 1:
+		return 1.0
+	case isPow2(a):
+		return 1.1
+	default:
+		return 1.5
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// String renders the op in the notation of the Bodrato-Zanoni schedules.
+func (o Op) String() string {
+	if o.Kind == OpSwap {
+		return fmt.Sprintf("v%d <-> v%d", o.Dst, o.Src)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d <- (", o.Dst)
+	if o.CDst == 1 {
+		fmt.Fprintf(&b, "v%d", o.Dst)
+	} else {
+		fmt.Fprintf(&b, "%d*v%d", o.CDst, o.Dst)
+	}
+	switch {
+	case o.CSrc == 1:
+		fmt.Fprintf(&b, " + v%d", o.Src)
+	case o.CSrc == -1:
+		fmt.Fprintf(&b, " - v%d", o.Src)
+	case o.CSrc < 0:
+		fmt.Fprintf(&b, " - %d*v%d", -o.CSrc, o.Src)
+	case o.CSrc > 0:
+		fmt.Fprintf(&b, " + %d*v%d", o.CSrc, o.Src)
+	}
+	b.WriteString(")")
+	if o.Div != 1 {
+		fmt.Fprintf(&b, "/%d", o.Div)
+	}
+	return b.String()
+}
+
+// Sequence is an inversion sequence: applied to the vector of pointwise
+// products it computes W^T·v, i.e. the product-polynomial coefficients.
+type Sequence struct {
+	N   int // vector length (2k-1)
+	Ops []Op
+}
+
+// Cost returns the total Toom-Graph path weight.
+func (s *Sequence) Cost() float64 {
+	total := 0.0
+	for _, o := range s.Ops {
+		total += o.Cost()
+	}
+	return total
+}
+
+// String lists the schedule one op per line.
+func (s *Sequence) String() string {
+	var b strings.Builder
+	for i, o := range s.Ops {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(o.String())
+	}
+	return b.String()
+}
+
+// Apply runs the sequence on a copy of v, returning the transformed vector.
+// It errors if any exact division fails — which cannot happen on genuine
+// product evaluations, so an error indicates corrupted input.
+func (s *Sequence) Apply(v []bigint.Int) ([]bigint.Int, error) {
+	if len(v) != s.N {
+		return nil, fmt.Errorf("toomgraph: sequence expects %d values, got %d", s.N, len(v))
+	}
+	w := make([]bigint.Int, len(v))
+	copy(w, v)
+	for _, o := range s.Ops {
+		switch o.Kind {
+		case OpSwap:
+			w[o.Dst], w[o.Src] = w[o.Src], w[o.Dst]
+		case OpCombine:
+			t := w[o.Dst]
+			if o.CDst != 1 {
+				t = t.MulInt64(o.CDst)
+			}
+			if o.CSrc != 0 {
+				t = t.Add(w[o.Src].MulInt64(o.CSrc))
+			}
+			if o.Div != 1 {
+				d := o.Div
+				// Validate divisibility before committing.
+				q, r := t.Abs().QuoRemWord(uint64(abs64(d)))
+				if r != 0 {
+					return nil, fmt.Errorf("toomgraph: inexact division by %d in %q", d, o.String())
+				}
+				if (t.Sign() < 0) != (d < 0) && t.Sign() != 0 {
+					q = q.Neg()
+				}
+				t = q
+			}
+			w[o.Dst] = t
+		}
+	}
+	return w, nil
+}
+
+// Karatsuba returns the classical 2-op inversion sequence for Toom-Cook-2
+// over the standard points (0, 1, ∞): v1 ← v1 − v0 − v2.
+func Karatsuba() *Sequence {
+	return &Sequence{N: 3, Ops: []Op{
+		{Kind: OpCombine, Dst: 1, Src: 0, CDst: 1, CSrc: -1, Div: 1},
+		{Kind: OpCombine, Dst: 1, Src: 2, CDst: 1, CSrc: -1, Div: 1},
+	}}
+}
+
+// Toom3 returns a hand-optimized inversion sequence for Toom-Cook-3 over
+// the standard points (0, 1, -1, 2, ∞), in the style of the GMP/Bodrato
+// interpolation schedule: 7 combines, 3 exact divisions, 1 swap.
+func Toom3() *Sequence {
+	return &Sequence{N: 5, Ops: []Op{
+		// v3 ← (v3 − v2)/3        = c1 + c2 + 3c3 + 5c4
+		{Kind: OpCombine, Dst: 3, Src: 2, CDst: 1, CSrc: -1, Div: 3},
+		// v2 ← (v2 − v1)/(−2)     = c1 + c3
+		{Kind: OpCombine, Dst: 2, Src: 1, CDst: 1, CSrc: -1, Div: -2},
+		// v1 ← v1 − v0            = c1 + c2 + c3 + c4
+		{Kind: OpCombine, Dst: 1, Src: 0, CDst: 1, CSrc: -1, Div: 1},
+		// v3 ← (v3 − v1)/2        = c3 + 2c4
+		{Kind: OpCombine, Dst: 3, Src: 1, CDst: 1, CSrc: -1, Div: 2},
+		// v1 ← v1 − v2            = c2 + c4
+		{Kind: OpCombine, Dst: 1, Src: 2, CDst: 1, CSrc: -1, Div: 1},
+		// v1 ← v1 − v4            = c2
+		{Kind: OpCombine, Dst: 1, Src: 4, CDst: 1, CSrc: -1, Div: 1},
+		// v3 ← v3 − 2·v4          = c3
+		{Kind: OpCombine, Dst: 3, Src: 4, CDst: 1, CSrc: -2, Div: 1},
+		// v2 ← v2 − v3            = c1
+		{Kind: OpCombine, Dst: 2, Src: 3, CDst: 1, CSrc: -1, Div: 1},
+		// reorder: (c0, c2, c1, c3, c4) → (c0, c1, c2, c3, c4)
+		{Kind: OpSwap, Dst: 1, Src: 2},
+	}}
+}
+
+// Toom4 returns a hand-derived inversion sequence for Toom-Cook-4 over the
+// standard points (0, 1, -1, 2, -2, 3, ∞), using the classical even/odd
+// splitting: v(±1) and v(±2) pairs isolate the even and odd coefficient
+// sums, the evens solve against the known c0 = v(0) and c6 = v(∞), and
+// v(3) supplies the third odd equation. Every division is exact at the
+// matrix level, so the schedule never leaves ℤ.
+func Toom4() *Sequence {
+	c := func(dst, src int, cSrc, div int64) Op {
+		return Op{Kind: OpCombine, Dst: dst, Src: src, CDst: 1, CSrc: cSrc, Div: div}
+	}
+	return &Sequence{N: 7, Ops: []Op{
+		// Odd/even split of the ±1 pair: v2 ← O1 = c1+c3+c5, v1 ← E1 = c0+c2+c4+c6.
+		c(2, 1, -1, -2),
+		c(1, 2, -1, 1),
+		// Odd/even split of the ±2 pair: v4 ← O2 = c1+4c3+16c5, v3 ← E2 = c0+4c2+16c4+64c6.
+		c(4, 3, -1, -4),
+		c(3, 4, -2, 1),
+		// Even system: v1 ← A = c2+c4, v3 ← B = 4c2+16c4, then c4 and c2.
+		c(1, 0, -1, 1),
+		c(1, 6, -1, 1),
+		c(3, 0, -1, 1),
+		c(3, 6, -64, 1),
+		c(3, 1, -4, 12), // v3 = c4
+		c(1, 3, -1, 1),  // v1 = c2
+		// Third odd equation from v(3): v5 ← O3 = c1+9c3+81c5.
+		c(5, 0, -1, 1),
+		c(5, 1, -9, 1),
+		c(5, 3, -81, 1),
+		c(5, 6, -729, 1),
+		c(5, 0, 0, 3),
+		// Odd system: D' = c3+5c5, G' = c3+10c5, then c5, c3, c1.
+		c(4, 2, -1, 3), // v4 = D'
+		c(5, 2, -1, 8), // v5 = G'
+		c(5, 4, -1, 5), // v5 = c5
+		c(4, 5, -5, 1), // v4 = c3
+		c(2, 4, -1, 1),
+		c(2, 5, -1, 1), // v2 = c1
+		// Reorder (c0, c2, c1, c4, c3, c5, c6) → (c0, …, c6).
+		{Kind: OpSwap, Dst: 1, Src: 2},
+		{Kind: OpSwap, Dst: 3, Src: 4},
+	}}
+}
+
+// Toom5 returns a hand-derived inversion sequence for Toom-Cook-5 over the
+// standard points (0, 1, -1, 2, -2, 3, -3, 4, ∞), extending the Toom-4
+// even/odd derivation: three ± pairs isolate the even/odd sums, the even
+// system solves against the known c0 and c8, and v(4) supplies the fourth
+// odd equation. All divisions are exact at the matrix level.
+func Toom5() *Sequence {
+	c := func(dst, src int, cSrc, div int64) Op {
+		return Op{Kind: OpCombine, Dst: dst, Src: src, CDst: 1, CSrc: cSrc, Div: div}
+	}
+	return &Sequence{N: 9, Ops: []Op{
+		// Split the ±1, ±2, ±3 pairs into odd/even sums.
+		c(2, 1, -1, -2), // v2 = O1  = c1+c3+c5+c7
+		c(1, 2, -1, 1),  // v1 = E1  = c0+c2+c4+c6+c8
+		c(4, 3, -1, -4), // v4 = O2' = c1+4c3+16c5+64c7
+		c(3, 4, -2, 1),  // v3 = E2  = c0+4c2+16c4+64c6+256c8
+		c(6, 5, -1, -6), // v6 = O3' = c1+9c3+81c5+729c7
+		c(5, 6, -3, 1),  // v5 = E3  = c0+9c2+81c4+729c6+6561c8
+		// Even system against the known c0 = v0 and c8 = v8.
+		c(1, 0, -1, 1),
+		c(1, 8, -1, 1), // v1 = A1  = c2+c4+c6
+		c(3, 0, -1, 1),
+		c(3, 8, -256, 1),
+		c(3, 0, 0, 4), // v3 = A2' = c2+4c4+16c6
+		c(5, 0, -1, 1),
+		c(5, 8, -6561, 1),
+		c(5, 0, 0, 9),  // v5 = A3' = c2+9c4+81c6
+		c(5, 3, -1, 5), // v5 = B2' = c4+13c6   (before v3 is consumed)
+		c(3, 1, -1, 3), // v3 = B1' = c4+5c6
+		c(5, 3, -1, 8), // v5 = c6
+		c(3, 5, -5, 1), // v3 = c4
+		c(1, 3, -1, 1),
+		c(1, 5, -1, 1), // v1 = c2
+		// Fourth odd equation from v(4), evens removed.
+		c(7, 0, -1, 1),
+		c(7, 1, -16, 1),
+		c(7, 3, -256, 1),
+		c(7, 5, -4096, 1),
+		c(7, 8, -65536, 1),
+		c(7, 0, 0, 4), // v7 = O4'' = c1+16c3+256c5+4096c7
+		// Odd system (consume higher differences first).
+		c(7, 6, -1, 7),  // v7 = D3 = c3+25c5+481c7
+		c(6, 4, -1, 5),  // v6 = D2 = c3+13c5+133c7
+		c(4, 2, -1, 3),  // v4 = D1 = c3+5c5+21c7
+		c(7, 6, -1, 12), // v7 = G2 = c5+29c7
+		c(6, 4, -1, 8),  // v6 = G1 = c5+14c7
+		c(7, 6, -1, 15), // v7 = c7
+		c(6, 7, -14, 1), // v6 = c5
+		c(4, 6, -5, 1),
+		c(4, 7, -21, 1), // v4 = c3
+		c(2, 4, -1, 1),
+		c(2, 6, -1, 1),
+		c(2, 7, -1, 1), // v2 = c1
+		// Reorder (c0, c2, c1, c4, c3, c6, c5, c7, c8) → identity.
+		{Kind: OpSwap, Dst: 1, Src: 2},
+		{Kind: OpSwap, Dst: 3, Src: 4},
+		{Kind: OpSwap, Dst: 5, Src: 6},
+	}}
+}
+
+// ForK returns a known hand-optimized sequence for Toom-Cook-k over the
+// standard point set, or nil if none is catalogued.
+func ForK(k int) *Sequence {
+	switch k {
+	case 2:
+		return Karatsuba()
+	case 3:
+		return Toom3()
+	case 4:
+		return Toom4()
+	case 5:
+		return Toom5()
+	default:
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Toom-Graph search
+// ---------------------------------------------------------------------------
+
+// Options configures the Find search.
+type Options struct {
+	// Coefficients tried for CSrc in combines (CDst is fixed at 1).
+	Coefficients []int64
+	// Divisors tried after each combine (besides 1), applied only when the
+	// whole row is divisible.
+	Divisors []int64
+	// MaxNodes bounds the number of expanded states.
+	MaxNodes int
+	// MaxEntry bounds the magnitude of matrix entries along the path,
+	// pruning runaway states.
+	MaxEntry int64
+	// Greed weights the heuristic against accumulated cost (weighted
+	// best-first search). 1.0 approximates A*; larger values find paths
+	// faster at the cost of optimality. The Toom-Graph method is explicitly
+	// a heuristic (Definition 2.3), so suboptimal-but-short schedules are
+	// acceptable.
+	Greed float64
+}
+
+// DefaultOptions are suitable for k = 2 and k = 3 standard point sets.
+func DefaultOptions() Options {
+	return Options{
+		Coefficients: []int64{-1, 1, -2, 2},
+		Divisors:     []int64{2, -2, 3, -3, 6, -6},
+		MaxNodes:     150000,
+		MaxEntry:     64,
+		Greed:        2.5,
+	}
+}
+
+// Find searches the Toom-Graph for an inversion sequence transforming the
+// integer evaluation matrix e (given as rows) into the identity, minimizing
+// total op cost (best-first search with an inconsistency-tolerant reopening
+// strategy). It returns an error if the budget is exhausted first.
+func Find(e [][]int64, opts Options) (*Sequence, error) {
+	n := len(e)
+	for _, row := range e {
+		if len(row) != n {
+			return nil, fmt.Errorf("toomgraph: evaluation matrix must be square")
+		}
+	}
+	if exceeds(e, 127) || opts.MaxEntry > 127 {
+		return nil, fmt.Errorf("toomgraph: entries beyond the int8 state encoding (max 127)")
+	}
+	start := flatten(e)
+	goal := identityFlat(n)
+	if start == goal {
+		return &Sequence{N: n}, nil
+	}
+	if opts.Greed <= 0 {
+		opts.Greed = 1
+	}
+
+	dist := map[string]float64{start: 0}
+	pq := &nodeHeap{}
+	heap.Push(pq, heapEntry{priority: opts.Greed * heuristic(start, n), node: searchNode{state: start, g: 0}})
+	expanded := 0
+
+	for pq.Len() > 0 {
+		entry := heap.Pop(pq).(heapEntry)
+		cur := entry.node
+		if cur.state == goal {
+			ops := make([]Op, len(cur.seq))
+			copy(ops, cur.seq)
+			return &Sequence{N: n, Ops: ops}, nil
+		}
+		if best, ok := dist[cur.state]; ok && cur.g > best {
+			continue
+		}
+		expanded++
+		if expanded > opts.MaxNodes {
+			return nil, fmt.Errorf("toomgraph: search budget (%d nodes) exhausted", opts.MaxNodes)
+		}
+		m := unflatten(cur.state, n)
+		for _, op := range neighbors(m, n, opts) {
+			next := applyToMatrix(m, op, n)
+			if next == nil {
+				continue
+			}
+			if exceeds(next, opts.MaxEntry) {
+				continue
+			}
+			key := flatten(next)
+			g := cur.g + op.Cost()
+			if best, ok := dist[key]; ok && g >= best {
+				continue
+			}
+			dist[key] = g
+			seq := make([]Op, len(cur.seq), len(cur.seq)+1)
+			copy(seq, cur.seq)
+			seq = append(seq, op)
+			heap.Push(pq, heapEntry{priority: g + opts.Greed*heuristic(key, n), node: searchNode{state: key, g: g, seq: seq}})
+		}
+	}
+	return nil, fmt.Errorf("toomgraph: no inversion sequence found")
+}
+
+// neighbors enumerates candidate ops from a state.
+func neighbors(m [][]int64, n int, opts Options) []Op {
+	var ops []Op
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			if dst == src {
+				continue
+			}
+			ops = append(ops, Op{Kind: OpSwap, Dst: dst, Src: src})
+			for _, c := range opts.Coefficients {
+				ops = append(ops, Op{Kind: OpCombine, Dst: dst, Src: src, CDst: 1, CSrc: c, Div: 1})
+				for _, d := range opts.Divisors {
+					ops = append(ops, Op{Kind: OpCombine, Dst: dst, Src: src, CDst: 1, CSrc: c, Div: d})
+				}
+			}
+		}
+		// Pure divisions of a single row (CSrc = 0).
+		for _, d := range opts.Divisors {
+			ops = append(ops, Op{Kind: OpCombine, Dst: dst, Src: (dst + 1) % n, CDst: 1, CSrc: 0, Div: d})
+		}
+	}
+	return ops
+}
+
+// applyToMatrix applies op to a copy of m, returning nil when an exact
+// division fails (illegal edge in the Toom-Graph).
+func applyToMatrix(m [][]int64, op Op, n int) [][]int64 {
+	out := make([][]int64, n)
+	for i := range m {
+		out[i] = append([]int64(nil), m[i]...)
+	}
+	switch op.Kind {
+	case OpSwap:
+		out[op.Dst], out[op.Src] = out[op.Src], out[op.Dst]
+	case OpCombine:
+		for j := 0; j < n; j++ {
+			v := op.CDst*out[op.Dst][j] + op.CSrc*out[op.Src][j]
+			if op.Div != 1 {
+				if v%op.Div != 0 {
+					return nil
+				}
+				v /= op.Div
+			}
+			out[op.Dst][j] = v
+		}
+	}
+	return out
+}
+
+// heuristic estimates remaining cost from the number of entries that differ
+// from the identity, with a bonus for rows that are entirely correct. A
+// combine fixes at most one row, so wrong rows dominate; wrong entries break
+// ties toward states that are "almost diagonal".
+func heuristic(state string, n int) float64 {
+	m := unflatten(state, n)
+	wrongRows, wrongEntries := 0, 0
+	for i := 0; i < n; i++ {
+		rowOK := true
+		for j := 0; j < n; j++ {
+			want := int64(0)
+			if i == j {
+				want = 1
+			}
+			if m[i][j] != want {
+				rowOK = false
+				wrongEntries++
+			}
+		}
+		if !rowOK {
+			wrongRows++
+		}
+	}
+	return 0.9*float64(wrongRows) + 0.25*float64(wrongEntries)
+}
+
+func exceeds(m [][]int64, bound int64) bool {
+	for _, row := range m {
+		for _, v := range row {
+			if v > bound || v < -bound {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func identityFlat(n int) string {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		m[i][i] = 1
+	}
+	return flatten(m)
+}
+
+// flatten encodes a matrix with entries in [-128, 127] as a compact byte
+// string (map key). Entries are guaranteed small by Options.MaxEntry.
+func flatten(m [][]int64) string {
+	buf := make([]byte, 0, len(m)*len(m))
+	for _, row := range m {
+		for _, v := range row {
+			buf = append(buf, byte(int8(v)))
+		}
+	}
+	return string(buf)
+}
+
+func unflatten(s string, n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = int64(int8(s[i*n+j]))
+		}
+	}
+	return m
+}
+
+type searchNode struct {
+	state string
+	g     float64
+	seq   []Op
+}
+
+type heapEntry struct {
+	priority float64
+	node     searchNode
+}
+
+type nodeHeap []heapEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].priority < h[j].priority }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

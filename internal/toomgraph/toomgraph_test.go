@@ -1,0 +1,192 @@
+package toomgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigint"
+	"repro/internal/points"
+	"repro/internal/toom"
+)
+
+// evalRows returns the integer product-evaluation matrix for Toom-Cook-k
+// standard points (the Toom-Graph start vertex (W^T)^{-1}).
+func evalRows(t *testing.T, k int) [][]int64 {
+	t.Helper()
+	m := points.EvalMatrix(points.Standard(2*k-1), 2*k-1)
+	rows := make([][]int64, m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		rows[i] = make([]int64, m.Cols())
+		for j := 0; j < m.Cols(); j++ {
+			v := m.At(i, j)
+			if !v.IsInt() {
+				t.Fatalf("non-integer evaluation entry %v", v)
+			}
+			n, ok := v.Num().Int64()
+			if !ok {
+				t.Fatalf("entry overflow")
+			}
+			rows[i][j] = n
+		}
+	}
+	return rows
+}
+
+// checkSequence verifies that seq computes W^T·v for random product vectors:
+// it must map eval(a)⊙eval(b) to the convolution of a and b.
+func checkSequence(t *testing.T, k int, seq *Sequence) {
+	t.Helper()
+	alg := toom.MustNew(k)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		da := make([]bigint.Int, k)
+		db := make([]bigint.Int, k)
+		for i := 0; i < k; i++ {
+			da[i] = bigint.FromInt64(rng.Int63n(2001) - 1000)
+			db[i] = bigint.FromInt64(rng.Int63n(2001) - 1000)
+		}
+		ea := alg.EvalDigits(da, nil)
+		eb := alg.EvalDigits(db, nil)
+		prods := make([]bigint.Int, 2*k-1)
+		for i := range prods {
+			prods[i] = ea[i].Mul(eb[i])
+		}
+		got, err := seq.Apply(prods)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		want := alg.Interpolate(prods, nil)
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("k=%d coeff %d: sequence gives %v, matrix gives %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKaratsubaSequence(t *testing.T) {
+	checkSequence(t, 2, Karatsuba())
+}
+
+func TestToom3Sequence(t *testing.T) {
+	checkSequence(t, 3, Toom3())
+}
+
+func TestForK(t *testing.T) {
+	if ForK(2) == nil || ForK(3) == nil || ForK(4) == nil {
+		t.Error("catalogued sequences missing")
+	}
+	if ForK(7) != nil {
+		t.Error("unexpected sequence for k=7")
+	}
+}
+
+func TestSequenceCostOrdering(t *testing.T) {
+	// The optimized Toom-3 schedule must beat a naive dense-matrix cost
+	// proxy: 5x5 dense W^T with many non-unit coefficients would cost well
+	// over the schedule's handful of adds.
+	seq := Toom3()
+	if c := seq.Cost(); c <= 0 || c > 15 {
+		t.Errorf("Toom3 cost %v out of expected range", c)
+	}
+	if Karatsuba().Cost() >= seq.Cost() {
+		t.Error("Karatsuba sequence should be cheaper than Toom-3")
+	}
+}
+
+func TestApplyRejectsWrongLength(t *testing.T) {
+	if _, err := Karatsuba().Apply(make([]bigint.Int, 5)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestApplyInexactDivision(t *testing.T) {
+	seq := &Sequence{N: 1, Ops: []Op{{Kind: OpCombine, Dst: 0, Src: 0, CDst: 1, CSrc: 0, Div: 3}}}
+	if _, err := seq.Apply([]bigint.Int{bigint.FromInt64(7)}); err == nil {
+		t.Error("expected inexact-division error")
+	}
+	if got, err := seq.Apply([]bigint.Int{bigint.FromInt64(-9)}); err != nil {
+		t.Errorf("exact division errored: %v", err)
+	} else if v, _ := got[0].Int64(); v != -3 {
+		t.Errorf("-9/3 = %d", v)
+	}
+}
+
+func TestNegativeDivisor(t *testing.T) {
+	seq := &Sequence{N: 1, Ops: []Op{{Kind: OpCombine, Dst: 0, Src: 0, CDst: 1, CSrc: 0, Div: -2}}}
+	got, err := seq.Apply([]bigint.Int{bigint.FromInt64(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got[0].Int64(); v != -5 {
+		t.Errorf("10/-2 = %d", v)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Kind: OpCombine, Dst: 3, Src: 2, CDst: 1, CSrc: -1, Div: 3}
+	if got := op.String(); got != "v3 <- (v3 - v2)/3" {
+		t.Errorf("String() = %q", got)
+	}
+	sw := Op{Kind: OpSwap, Dst: 1, Src: 2}
+	if got := sw.String(); got != "v1 <-> v2" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFindKaratsuba(t *testing.T) {
+	seq, err := Find(evalRows(t, 2), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSequence(t, 2, seq)
+	// The search should find something no worse than the hand schedule
+	// plus a small slack.
+	if seq.Cost() > Karatsuba().Cost()+0.5 {
+		t.Errorf("search found cost %.2f, hand schedule costs %.2f", seq.Cost(), Karatsuba().Cost())
+	}
+}
+
+func TestFindToom3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Toom-3 graph search is expensive; skipped in -short")
+	}
+	opts := DefaultOptions()
+	seq, err := Find(evalRows(t, 3), opts)
+	if err != nil {
+		t.Skipf("search budget exhausted (acceptable; heuristic): %v", err)
+	}
+	checkSequence(t, 3, seq)
+	t.Logf("found Toom-3 schedule, cost %.2f:\n%s", seq.Cost(), seq)
+}
+
+func TestFindIdentityIsEmpty(t *testing.T) {
+	id := [][]int64{{1, 0}, {0, 1}}
+	seq, err := Find(id, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Ops) != 0 {
+		t.Errorf("identity should need no ops, got %d", len(seq.Ops))
+	}
+}
+
+func TestFindRejectsNonSquare(t *testing.T) {
+	if _, err := Find([][]int64{{1, 2, 3}}, DefaultOptions()); err == nil {
+		t.Error("expected non-square error")
+	}
+}
+
+func TestToom4Sequence(t *testing.T) {
+	checkSequence(t, 4, Toom4())
+}
+
+func TestForKToom4(t *testing.T) {
+	if ForK(4) == nil {
+		t.Fatal("Toom-4 schedule missing from catalogue")
+	}
+}
+
+func TestToom5Sequence(t *testing.T) {
+	checkSequence(t, 5, Toom5())
+}

@@ -1,0 +1,104 @@
+package ftmul
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModExpAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 25; trial++ {
+		base := randBig(rng, 2048)
+		exp := new(big.Int).Abs(randBig(rng, 24))
+		m := new(big.Int).Abs(randBig(rng, 1024))
+		if m.Sign() == 0 {
+			m.SetInt64(97)
+		}
+		got, err := ModExp(base, exp, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(new(big.Int).Mod(base, m), exp, m)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: ModExp mismatch", trial)
+		}
+	}
+}
+
+func TestModExpEdges(t *testing.T) {
+	one := big.NewInt(1)
+	if got, err := ModExp(big.NewInt(5), big.NewInt(0), big.NewInt(7)); err != nil || got.Cmp(one) != 0 {
+		t.Errorf("5^0 mod 7 = %v, %v", got, err)
+	}
+	if got, err := ModExp(big.NewInt(5), big.NewInt(3), one); err != nil || got.Sign() != 0 {
+		t.Errorf("mod 1 = %v, %v", got, err)
+	}
+	if _, err := ModExp(big.NewInt(2), big.NewInt(3), big.NewInt(0)); err == nil {
+		t.Error("zero modulus should fail")
+	}
+	if _, err := ModExp(big.NewInt(2), big.NewInt(-1), big.NewInt(7)); err == nil {
+		t.Error("negative exponent should fail")
+	}
+}
+
+func TestSqrtExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	for trial := 0; trial < 30; trial++ {
+		r := new(big.Int).Abs(randBig(rng, 1024))
+		n := new(big.Int).Mul(r, r)
+		got, err := Sqrt(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(r) != 0 {
+			t.Fatalf("Sqrt(r²) != r at trial %d", trial)
+		}
+	}
+}
+
+func TestSqrtFloorProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	f := func(_ int) bool {
+		n := new(big.Int).Abs(randBig(rng, 1+rng.Intn(2048)))
+		x, err := Sqrt(n)
+		if err != nil {
+			return false
+		}
+		// x² ≤ n < (x+1)²
+		x2 := new(big.Int).Mul(x, x)
+		x1 := new(big.Int).Add(x, big.NewInt(1))
+		x12 := new(big.Int).Mul(x1, x1)
+		return x2.Cmp(n) <= 0 && x12.Cmp(n) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrtEdges(t *testing.T) {
+	if got, _ := Sqrt(big.NewInt(0)); got.Sign() != 0 {
+		t.Error("Sqrt(0) != 0")
+	}
+	if got, _ := Sqrt(big.NewInt(1)); got.Cmp(big.NewInt(1)) != 0 {
+		t.Error("Sqrt(1) != 1")
+	}
+	if got, _ := Sqrt(big.NewInt(3)); got.Cmp(big.NewInt(1)) != 0 {
+		t.Error("Sqrt(3) != 1")
+	}
+	if _, err := Sqrt(big.NewInt(-4)); err == nil {
+		t.Error("negative Sqrt should fail")
+	}
+}
+
+func TestSquarePublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	for trial := 0; trial < 20; trial++ {
+		a := randBig(rng, 1+rng.Intn(1<<14))
+		want := new(big.Int).Mul(a, a)
+		if got := Square(a); got.Cmp(want) != 0 {
+			t.Fatalf("Square mismatch at trial %d", trial)
+		}
+	}
+}
