@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench benchjson fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector smoke: the shared Toom worker pool under concurrent
+# MulConcurrent load, plus the machine simulator's lazy channel table.
+race:
+	$(GO) test -race -run 'MulConcurrent|WorkerPool|LazyChannel' ./internal/toom ./internal/machine
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'Benchmark(Table1|Alloc)' -benchmem -benchtime 1x .
+
+# Regenerate the committed benchmark snapshot (see BENCH_PR1.json).
+benchjson:
+	$(GO) run ./cmd/benchjson -out BENCH_PR1.json
+
+# Short fuzz pass over the bigint kernels (seed corpus always runs in `make test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzNatMul -fuzztime 10s ./internal/bigint
+	$(GO) test -run '^$$' -fuzz FuzzIntArith -fuzztime 10s ./internal/bigint

@@ -1,0 +1,106 @@
+package ftmul
+
+// Allocation-focused microbenchmarks for the multiplication hot path.
+// These track the perf-trajectory quantities that the machine-model
+// benchmarks in bench_test.go deliberately ignore: wall-clock ns/op and
+// allocs/op of the *sequential* kernels beneath the Toom-Cook stack.
+// cmd/benchjson collects them (with -benchmem) into BENCH_PR1.json so
+// future PRs can diff against the recorded trajectory.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bigint"
+	"repro/internal/toom"
+)
+
+// BenchmarkAllocSequentialToom is the acceptance benchmark for the arena
+// kernels: one full sequential Toom-k multiply of 2^16-bit operands.
+func BenchmarkAllocSequentialToom(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		alg := toom.MustNew(k)
+		a, x := benchOperands(1 << 16)
+		b.Run(fmt.Sprintf("k=%d/bits=65536", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = alg.Mul(a, x)
+			}
+		})
+	}
+}
+
+// BenchmarkAllocKernels measures the bigint primitives the recursion bottoms
+// out in: schoolbook-range and Karatsuba-range multiplies, addition, and the
+// small-scalar multiply used by evaluation/interpolation matrices.
+func BenchmarkAllocKernels(b *testing.B) {
+	for _, bits := range []int{512, 4096, 1 << 15, 1 << 18} {
+		a, x := benchOperands(bits)
+		b.Run(fmt.Sprintf("mul/bits=%d", bits), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = a.Mul(x)
+			}
+		})
+	}
+	a, x := benchOperands(1 << 15)
+	b.Run("add/bits=32768", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Add(x)
+		}
+	})
+	b.Run("mulint64/bits=32768", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.MulInt64(-45)
+		}
+	})
+}
+
+// BenchmarkAllocEvalInterp isolates the Toom block primitives (evaluation
+// and interpolation) that the accumulator kernels rewired.
+func BenchmarkAllocEvalInterp(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		alg := toom.MustNew(k)
+		a, _ := benchOperands(1 << 15)
+		digits := make([]bigint.Int, k)
+		shift := (a.BitLen() + k - 1) / k
+		for i := range digits {
+			digits[i] = a.Extract(i*shift, shift)
+		}
+		b.Run(fmt.Sprintf("eval/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = alg.EvalDigits(digits, nil)
+			}
+		})
+		evals := alg.EvalDigits(digits, nil)
+		prods := make([]bigint.Int, len(evals))
+		for i := range prods {
+			prods[i] = evals[i].Mul(evals[i])
+		}
+		b.Run(fmt.Sprintf("interp/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = alg.Interpolate(prods, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAllocMulConcurrent exercises the bounded worker pool on the
+// shared-memory concurrent multiply (depth-2 fan-out).
+func BenchmarkAllocMulConcurrent(b *testing.B) {
+	a, x := benchOperands(1 << 16)
+	for _, k := range []int{2, 3} {
+		alg := toom.MustNew(k)
+		b.Run(fmt.Sprintf("k=%d/depth=2/procs=%d", k, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = alg.MulConcurrent(a, x, 2)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Command benchjson runs the repository's benchmark families through
+// `go test -bench -benchmem` and emits one machine-readable JSON document,
+// so the benchmark trajectory of the repo can be tracked across PRs by
+// diffing committed snapshots (BENCH_PR1.json etc.) instead of eyeballing
+// text logs.
+//
+// Every value/unit pair the testing package prints is captured generically:
+// the standard ns/op, B/op and allocs/op as well as the custom machine-model
+// metrics (F/op, BW/op, L/op) that the Table benchmarks report via
+// b.ReportMetric. Typical use:
+//
+//	go run ./cmd/benchjson -out BENCH_PR1.json
+//	go run ./cmd/benchjson -bench 'BenchmarkAlloc' -benchtime 5x -out -
+//
+// The command shells out to the local go toolchain; it adds no dependencies.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line: the trimmed name, the iteration count, and
+// every reported metric keyed by its unit (ns/op, B/op, allocs/op, F/op, …).
+type Result struct {
+	Name       string             `json:"name"`
+	Family     string             `json:"family"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the document benchjson writes.
+type Snapshot struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Date       time.Time `json:"date"`
+	BenchRegex string    `json:"bench_regex"`
+	BenchTime  string    `json:"benchtime"`
+	Packages   []string  `json:"packages"`
+	Results    []Result  `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", "Benchmark(Table1|Alloc)", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
+	pkgs := flag.String("pkg", ".", "comma-separated package patterns to benchmark")
+	out := flag.String("out", "BENCH_PR1.json", "output file, or - for stdout")
+	timeout := flag.String("timeout", "20m", "passed to go test -timeout")
+	flag.Parse()
+
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Truncate(time.Second),
+		BenchRegex: *bench,
+		BenchTime:  *benchtime,
+		Packages:   strings.Split(*pkgs, ","),
+	}
+
+	for _, pkg := range snap.Packages {
+		raw, err := runBench(pkg, *bench, *benchtime, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		snap.Results = append(snap.Results, parseBenchOutput(raw)...)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+func runBench(pkg, bench, benchtime, timeout string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime,
+		"-timeout", timeout, pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName/sub-8   12  9876 ns/op  12 B/op  3 allocs/op  42 F/op
+//
+// Field 0 is the name (with the trailing -GOMAXPROCS suffix trimmed), field 1
+// the iteration count, and the rest alternate value, unit.
+func parseBenchOutput(raw []byte) []Result {
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{
+			Name:       name,
+			Family:     strings.SplitN(name, "/", 2)[0],
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results
+}

@@ -1,0 +1,101 @@
+package bigint
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// Fuzz targets cross-checking the arena/Karatsuba kernels against math/big.
+// `go test` runs the seed corpus as regression tests; `go test -fuzz=FuzzNatMul
+// ./internal/bigint` explores further. Inputs arrive as big-endian byte
+// strings; an inflation step repeats them past the Karatsuba threshold so the
+// recursive kernel (not just schoolbook) is always exercised.
+
+// inflate deterministically stretches b past n bytes by repetition.
+func inflate(b []byte, n int) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	return bytes.Repeat(b, n/len(b)+1)
+}
+
+func FuzzNatMul(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1}, []byte{0xff})
+	f.Add([]byte{0xff, 0xff, 0xff}, []byte{1, 0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 8*karatsubaThreshold), bytes.Repeat([]byte{0xab}, 8*karatsubaThreshold))
+	f.Add(bytes.Repeat([]byte{0x80, 0}, 5*karatsubaThreshold), bytes.Repeat([]byte{1}, 3))
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		check := func(x, y *big.Int) {
+			got := FromBig(x).Mul(FromBig(y)).ToBig()
+			want := new(big.Int).Mul(x, y)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("Mul mismatch: %d-bit × %d-bit", x.BitLen(), y.BitLen())
+			}
+		}
+		x := new(big.Int).SetBytes(ab)
+		y := new(big.Int).SetBytes(bb)
+		// Small (schoolbook) shapes as given...
+		check(x, y)
+		// ...and inflated past the Karatsuba threshold: balanced and
+		// unbalanced, so both karatsuba and the chunked mulTo path run.
+		bigLen := 8 * (2*karatsubaThreshold + 1)
+		xl := new(big.Int).SetBytes(inflate(ab, bigLen))
+		yl := new(big.Int).SetBytes(inflate(bb, bigLen))
+		check(xl, yl)
+		check(xl, y)
+	})
+}
+
+func FuzzIntArith(f *testing.F) {
+	f.Add([]byte{3}, []byte{5}, false, true, int64(7), uint(3))
+	f.Add([]byte{0xff, 0xff}, []byte{}, true, false, int64(-12345), uint(70))
+	f.Add(bytes.Repeat([]byte{0x5a}, 400), bytes.Repeat([]byte{0xc3}, 399), true, true, int64(1)<<40, uint(129))
+	f.Fuzz(func(t *testing.T, ab, bb []byte, an, bn bool, c int64, s uint) {
+		s %= 1024
+		x := new(big.Int).SetBytes(ab)
+		if an {
+			x.Neg(x)
+		}
+		y := new(big.Int).SetBytes(bb)
+		if bn {
+			y.Neg(y)
+		}
+		xi, yi := FromBig(x), FromBig(y)
+
+		if got := xi.Add(yi).ToBig(); got.Cmp(new(big.Int).Add(x, y)) != 0 {
+			t.Fatalf("Add mismatch")
+		}
+		if got := xi.Sub(yi).ToBig(); got.Cmp(new(big.Int).Sub(x, y)) != 0 {
+			t.Fatalf("Sub mismatch")
+		}
+		if got := xi.Mul(yi).ToBig(); got.Cmp(new(big.Int).Mul(x, y)) != 0 {
+			t.Fatalf("Mul mismatch")
+		}
+		if got := xi.MulInt64(c).ToBig(); got.Cmp(new(big.Int).Mul(x, big.NewInt(c))) != 0 {
+			t.Fatalf("MulInt64 mismatch")
+		}
+		if got := xi.Shl(s).ToBig(); got.Cmp(new(big.Int).Lsh(x, s)) != 0 {
+			t.Fatalf("Shl mismatch")
+		}
+		if got := xi.Cmp(yi); got != x.Cmp(y) {
+			t.Fatalf("Cmp mismatch")
+		}
+
+		// Acc chain: ±x ± y·c, shifted — against the same chain in math/big.
+		acc := NewAcc()
+		acc.Add(xi)
+		acc.AddMul(yi, c)
+		acc.Shl(s % 64)
+		acc.Sub(xi)
+		got := acc.Take().ToBig()
+		acc.Release()
+		want := new(big.Int).Add(x, new(big.Int).Mul(y, big.NewInt(c)))
+		want.Lsh(want, s%64)
+		want.Sub(want, x)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Acc chain mismatch: got %v want %v", got, want)
+		}
+	})
+}

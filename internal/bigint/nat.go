@@ -2,11 +2,15 @@
 //
 // It is the scalar substrate for the Toom-Cook multiplication algorithms in
 // this repository: a multi-precision natural number is a little-endian slice
-// of 64-bit limbs, and a signed integer wraps a natural with a sign. Only
-// the schoolbook multiplication algorithm lives here; the fast (Toom-Cook)
-// algorithms in internal/toom are built on top of these primitives, mirroring
-// the paper's model in which the "hardware" provides multiplication of
-// bounded-size integers and everything above it is the algorithm under study.
+// of 64-bit limbs, and a signed integer wraps a natural with a sign. The
+// multiplication kernel is schoolbook below karatsubaThreshold limbs and
+// Karatsuba above it (kara.go), with scratch drawn from a pooled limb arena
+// (arena.go); the asymptotically faster Toom-Cook algorithms in
+// internal/toom are built on top of these primitives, mirroring the paper's
+// model in which the "hardware" provides multiplication of bounded-size
+// integers and everything above it is the algorithm under study. The Acc
+// accumulator (acc.go) gives those layers allocation-free in-place
+// evaluation/interpolation arithmetic.
 //
 // The package is self-contained (stdlib only) and is cross-checked against
 // math/big in its tests.
@@ -88,29 +92,28 @@ func natSub(x, y nat) nat {
 	return z.norm()
 }
 
-// natMul returns x * y using the schoolbook algorithm. This is deliberately
-// the only multiplication in the package: it plays the role of the paper's
-// Θ(n²) baseline and of the base case beneath the Toom-Cook recursion.
+// natMul returns x * y. Small operands use the schoolbook kernel — the
+// paper's Θ(n²) "hardware multiply" and the base case beneath the Toom-Cook
+// recursion. Above karatsubaThreshold limbs it switches to Karatsuba
+// (kara.go) with arena-backed scratch, so large leaves (big thresholds, lazy
+// interpolation) are no longer quadratic. One heap allocation either way:
+// the result; all intermediates come from the per-call arena.
 func natMul(x, y nat) nat {
 	if len(x) == 0 || len(y) == 0 {
 		return nil
 	}
-	z := make(nat, len(x)+len(y))
-	for i, xi := range x {
-		if xi == 0 {
-			continue
-		}
-		var carry uint64
-		for j, yj := range y {
-			hi, lo := bits.Mul64(xi, yj)
-			var c1, c2 uint64
-			lo, c1 = bits.Add64(lo, z[i+j], 0)
-			lo, c2 = bits.Add64(lo, carry, 0)
-			z[i+j] = lo
-			carry = hi + c1 + c2
-		}
-		z[i+len(y)] = carry
+	if len(x) < len(y) {
+		x, y = y, x
 	}
+	z := make(nat, len(x)+len(y))
+	if len(y) < karatsubaThreshold {
+		basicMulTo(z, x, y)
+		return z.norm()
+	}
+	ar := getArena()
+	ar.ensure(karaScratchFor(len(y)))
+	mulTo(z, x, y, ar)
+	putArena(ar)
 	return z.norm()
 }
 
@@ -223,15 +226,21 @@ func natExtract(x nat, lo, width int) nat {
 	if width <= 0 || lo >= natBitLen(x) {
 		return nil
 	}
-	shifted := natShr(x, uint(lo))
-	// Mask to width bits.
+	// Gather the covering limbs directly into one fresh allocation (this is
+	// the digit-splitting hot path: one natExtract per digit per recursion
+	// node, so the shift-then-copy double allocation was measurable).
+	start := lo / 64
+	off := uint(lo % 64)
 	limbs := (width + 63) / 64
-	if len(shifted) > limbs {
-		shifted = shifted[:limbs]
+	z := make(nat, limbs)
+	for i := 0; i < limbs && start+i < len(x); i++ {
+		v := x[start+i] >> off
+		if off != 0 && start+i+1 < len(x) {
+			v |= x[start+i+1] << (64 - off)
+		}
+		z[i] = v
 	}
-	z := make(nat, len(shifted))
-	copy(z, shifted)
-	if rem := width % 64; rem != 0 && len(z) == limbs {
+	if rem := width % 64; rem != 0 {
 		z[limbs-1] &= (1 << uint(rem)) - 1
 	}
 	return z.norm()

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bigint"
@@ -50,9 +51,10 @@ type Config struct {
 	RecvTimeout time.Duration
 
 	// ChannelCap is the per-pair in-flight message capacity (default 128).
-	// The P² channels are allocated eagerly, so large machines should keep
-	// this modest; protocols in this repository never queue more than a
-	// handful of messages per pair.
+	// Channels are allocated lazily on first use of a (sender, receiver)
+	// pair, so a large-P machine pays only for the pairs its protocol
+	// actually exercises (grid protocols use O(P·√P) of the P² pairs)
+	// rather than O(P²·ChannelCap) setup memory.
 	ChannelCap int
 
 	// SpeedFactors optionally slows processors down: processor i's
@@ -174,9 +176,15 @@ type Report struct {
 // Machine is a simulated P-processor machine. Create with New, run one
 // program with Run; a Machine is single-use.
 type Machine struct {
-	cfg    Config
-	procs  []*Proc
-	chans  [][]chan message                // chans[from][to]
+	cfg   Config
+	procs []*Proc
+
+	// chanSlots[from*P+to] holds the per-pair FIFO, created lazily on first
+	// use: the slot is an atomic pointer for the contended fast path, with
+	// chanMu serializing only the one-time creation of each channel.
+	chanSlots []atomic.Pointer[chan message]
+	chanMu    sync.Mutex
+
 	faults map[string]map[int]map[int]bool // phase -> hit -> proc set
 
 	mu        sync.Mutex
@@ -224,13 +232,7 @@ func New(cfg Config, plan []Fault) (*Machine, error) {
 		}
 		m.faults[f.Phase][f.Hit][f.Proc] = true
 	}
-	m.chans = make([][]chan message, cfg.P)
-	for i := range m.chans {
-		m.chans[i] = make([]chan message, cfg.P)
-		for j := range m.chans[i] {
-			m.chans[i][j] = make(chan message, cfg.ChannelCap)
-		}
-	}
+	m.chanSlots = make([]atomic.Pointer[chan message], cfg.P*cfg.P)
 	m.procs = make([]*Proc, cfg.P)
 	for i := range m.procs {
 		m.procs[i] = &Proc{id: i, m: m, store: map[string]storedValue{}}
@@ -240,6 +242,37 @@ func New(cfg Config, plan []Fault) (*Machine, error) {
 
 // P returns the processor count.
 func (m *Machine) P() int { return m.cfg.P }
+
+// chanFor returns the FIFO from processor `from` to processor `to`,
+// creating it on first use. Both endpoints may race to create the same
+// pair's channel; the mutex-guarded double-check makes the winner's channel
+// the one both see.
+func (m *Machine) chanFor(from, to int) chan message {
+	slot := &m.chanSlots[from*m.cfg.P+to]
+	if c := slot.Load(); c != nil {
+		return *c
+	}
+	m.chanMu.Lock()
+	defer m.chanMu.Unlock()
+	if c := slot.Load(); c != nil {
+		return *c
+	}
+	ch := make(chan message, m.cfg.ChannelCap)
+	slot.Store(&ch)
+	return ch
+}
+
+// allocatedChannels counts the per-pair channels created so far (test hook
+// for the lazy-allocation contract; call only while the machine is quiescent).
+func (m *Machine) allocatedChannels() int {
+	n := 0
+	for i := range m.chanSlots {
+		if m.chanSlots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Run executes program on all P processors and returns the cost report.
 // The first processor error (if any) aborts with that error.
@@ -395,7 +428,7 @@ func (p *Proc) Send(to int, tag string, payload Payload) error {
 	p.clock += p.m.cfg.Alpha + p.m.cfg.Beta*float64(w)
 	msg := message{from: p.id, tag: tag, payload: payload, arrive: p.clock}
 	select {
-	case p.m.chans[p.id][to] <- msg:
+	case p.m.chanFor(p.id, to) <- msg:
 		return nil
 	default:
 		return fmt.Errorf("machine: channel %d->%d full (protocol error)", p.id, to)
@@ -410,7 +443,7 @@ func (p *Proc) Recv(from int, tag string) (Payload, error) {
 		return nil, fmt.Errorf("machine: proc %d receiving from nonexistent proc %d", p.id, from)
 	}
 	select {
-	case msg := <-p.m.chans[from][p.id]:
+	case msg := <-p.m.chanFor(from, p.id):
 		if msg.tag != tag {
 			return nil, fmt.Errorf("machine: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.tag)
 		}
@@ -436,7 +469,7 @@ func (p *Proc) RecvDeadline(from int, tag string, deadline float64) (Payload, bo
 		return nil, false, fmt.Errorf("machine: proc %d receiving from nonexistent proc %d", p.id, from)
 	}
 	select {
-	case msg := <-p.m.chans[from][p.id]:
+	case msg := <-p.m.chanFor(from, p.id):
 		if msg.tag != tag {
 			return nil, false, fmt.Errorf("machine: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.tag)
 		}

@@ -434,3 +434,37 @@ func TestRecvDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLazyChannelAllocation(t *testing.T) {
+	// Channels must be created on first use of a (sender, receiver) pair,
+	// not eagerly for all P² pairs: a ring protocol on a 64-processor
+	// machine should materialize exactly the 64 pair channels it touches.
+	m, err := New(Config{P: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.allocatedChannels(); got != 0 {
+		t.Fatalf("machine allocated %d channels before any send", got)
+	}
+	_, err = m.Run(func(p *Proc) error {
+		next := (p.ID() + 1) % p.P()
+		prev := (p.ID() + p.P() - 1) % p.P()
+		if err := p.Send(next, "ring", Meta{Value: p.ID()}); err != nil {
+			return err
+		}
+		got, err := p.Recv(prev, "ring")
+		if err != nil {
+			return err
+		}
+		if got.(Meta).Value != prev {
+			return fmt.Errorf("proc %d: bad ring value %v", p.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.allocatedChannels(); got != 64 {
+		t.Fatalf("ring on P=64 allocated %d channels, want 64 (one per used pair)", got)
+	}
+}

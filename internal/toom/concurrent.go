@@ -7,14 +7,16 @@ import (
 )
 
 // MulConcurrent returns a·b like Mul, but computes the 2k-1 pointwise
-// products of the top `depth` recursion levels in parallel goroutines —
-// real host parallelism, as opposed to the simulated machine of
-// internal/parallel. With depth d it fans out up to (2k-1)^d concurrent
-// leaf multiplications; depth 0 is exactly Mul.
+// products of the top `depth` recursion levels in parallel — real host
+// parallelism, as opposed to the simulated machine of internal/parallel.
+// With depth d the recursion exposes up to (2k-1)^d independent leaf
+// multiplications; depth 0 is exactly Mul.
 //
-// This is the "shared-memory" face of the same BFS fan-out the paper
-// parallelizes across distributed processors: the recursion tree's
-// sub-products are independent.
+// Parallelism is bounded by the shared GOMAXPROCS-sized worker pool
+// (pool.go): each level submits its sub-products to the pool and computes
+// whatever the pool declines inline, so deep fan-outs stop spawning
+// (2k-1)^d goroutines while the recursion-tree independence the paper's BFS
+// steps distribute is still fully exploited.
 func (alg *Algorithm) MulConcurrent(a, b bigint.Int, depth int) bigint.Int {
 	neg := a.Sign()*b.Sign() < 0
 	z := alg.mulAbsConcurrent(a.Abs(), b.Abs(), depth)
@@ -45,9 +47,8 @@ func (alg *Algorithm) mulAbsConcurrent(a, b bigint.Int, depth int) bigint.Int {
 	prods := make([]bigint.Int, 2*k-1)
 	var wg sync.WaitGroup
 	for i := range prods {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		i := i
+		leafPool.fork(&wg, func() {
 			x, y := ea[i], eb[i]
 			n := x.Sign()*y.Sign() < 0
 			z := alg.mulAbsConcurrent(x.Abs(), y.Abs(), depth-1)
@@ -55,7 +56,7 @@ func (alg *Algorithm) mulAbsConcurrent(a, b bigint.Int, depth int) bigint.Int {
 				z = z.Neg()
 			}
 			prods[i] = z
-		}(i)
+		})
 	}
 	wg.Wait()
 

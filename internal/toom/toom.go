@@ -301,24 +301,28 @@ func (alg *Algorithm) EvalDigits(digits []bigint.Int, stats *Stats) []bigint.Int
 		stats.Evaluations++
 	}
 	out := make([]bigint.Int, len(alg.u))
+	// The digit sums accumulate in place (bigint.Acc): each row costs O(1)
+	// heap allocations instead of one per nonzero matrix entry.
+	evenAcc, oddAcc := bigint.NewAcc(), bigint.NewAcc()
+	defer evenAcc.Release()
+	defer oddAcc.Release()
 	// Paired rows (±v): one pass computes the even and odd digit sums E and
 	// O; the two evaluations are E+O and E−O (Zanoni's reuse).
 	for _, pr := range alg.evalPairs {
 		row := alg.u[pr.pos]
-		even, odd := bigint.Zero(), bigint.Zero()
 		var work int64
 		for m, c := range row {
 			if c == 0 || digits[m].IsZero() {
 				continue
 			}
-			t := digits[m].MulInt64(c)
 			work += 2 * wordsOf(digits[m])
 			if m%2 == 0 {
-				even = even.Add(t)
+				evenAcc.AddMul(digits[m], c)
 			} else {
-				odd = odd.Add(t)
+				oddAcc.AddMul(digits[m], c)
 			}
 		}
+		even, odd := evenAcc.Take(), oddAcc.Take()
 		out[pr.pos] = even.Add(odd)
 		out[pr.neg] = even.Sub(odd)
 		work += 2 * wordsOf(even)
@@ -328,16 +332,15 @@ func (alg *Algorithm) EvalDigits(digits []bigint.Int, stats *Stats) []bigint.Int
 	}
 	for _, i := range alg.evalSingles {
 		row := alg.u[i]
-		acc := bigint.Zero()
 		var work int64
 		for m, c := range row {
 			if c == 0 || digits[m].IsZero() {
 				continue
 			}
-			acc = acc.Add(digits[m].MulInt64(c))
+			evenAcc.AddMul(digits[m], c)
 			work += 2 * wordsOf(digits[m])
 		}
-		out[i] = acc
+		out[i] = evenAcc.Take()
 		if stats != nil {
 			stats.chargeWords(work)
 		}
@@ -372,12 +375,37 @@ func (alg *Algorithm) Interpolate(prods []bigint.Int, stats *Stats) []bigint.Int
 		stats.Interpolations++
 		stats.chargeWords(RowsWork(alg.wNum, prods))
 	}
-	out := ApplyRows(alg.wNum, prods)
-	for i := range out {
-		if stats != nil {
-			stats.chargeWords(wordsOf(out[i]))
+	return applyRowsScaled(alg.wNum, prods, alg.wDen, stats)
+}
+
+// applyRowsScaled computes (rows·x)/den row by row in one reusable
+// accumulator: the scalar combination and the exact division both run in
+// place, so each output costs a single allocation (the Take). The F charge
+// per row uses the pre-division word length, matching the historical
+// ApplyRows-then-DivExactInt64 accounting.
+func applyRowsScaled(rows [][]int64, x []bigint.Int, den int64, stats *Stats) []bigint.Int {
+	out := make([]bigint.Int, len(rows))
+	acc := bigint.NewAcc()
+	defer acc.Release()
+	for i, row := range rows {
+		if len(row) != len(x) {
+			panic("toom: applyRowsScaled width mismatch")
 		}
-		out[i] = out[i].DivExactInt64(alg.wDen)
+		for j, c := range row {
+			if c == 0 || x[j].IsZero() {
+				continue
+			}
+			acc.AddMul(x[j], c)
+		}
+		if stats != nil {
+			w := int64(acc.WordLen())
+			if w == 0 {
+				w = 1
+			}
+			stats.chargeWords(w)
+		}
+		acc.DivExact(den)
+		out[i] = acc.Take()
 	}
 	return out
 }
@@ -411,11 +439,13 @@ func splitDigits(a bigint.Int, k, shift int) []bigint.Int {
 // Σ coeffs[i]·2^{i·shift}. The signed adds perform the carry propagation
 // that Algorithm 1 calls "compute the carry".
 func Recompose(coeffs []bigint.Int, shift int) bigint.Int {
-	acc := bigint.Zero()
+	acc := bigint.NewAcc()
+	defer acc.Release()
 	for i := len(coeffs) - 1; i >= 0; i-- {
-		acc = acc.Shl(uint(shift)).Add(coeffs[i])
+		acc.Shl(uint(shift))
+		acc.Add(coeffs[i])
 	}
-	return acc
+	return acc.Take()
 }
 
 // ApplyRows computes M·x for an integer matrix given as int64 rows. It is
@@ -423,18 +453,19 @@ func Recompose(coeffs []bigint.Int, shift int) bigint.Int {
 // is a small-scalar combination of big integers.
 func ApplyRows(rows [][]int64, x []bigint.Int) []bigint.Int {
 	out := make([]bigint.Int, len(rows))
+	acc := bigint.NewAcc()
+	defer acc.Release()
 	for i, row := range rows {
 		if len(row) != len(x) {
 			panic("toom: ApplyRows width mismatch")
 		}
-		acc := bigint.Zero()
 		for j, c := range row {
 			if c == 0 || x[j].IsZero() {
 				continue
 			}
-			acc = acc.Add(x[j].MulInt64(c))
+			acc.AddMul(x[j], c)
 		}
-		out[i] = acc
+		out[i] = acc.Take()
 	}
 	return out
 }
@@ -455,23 +486,23 @@ func ApplyRowsToBlocks(rows [][]int64, blocks [][]bigint.Int) [][]bigint.Int {
 		}
 	}
 	out := make([][]bigint.Int, len(rows))
+	acc := bigint.NewAcc()
+	defer acc.Release()
 	for i, row := range rows {
 		if len(row) != len(blocks) {
 			panic("toom: ApplyRowsToBlocks width mismatch")
 		}
-		acc := make([]bigint.Int, blockLen)
-		for j, c := range row {
-			if c == 0 {
-				continue
-			}
-			for e := 0; e < blockLen; e++ {
-				if blocks[j][e].IsZero() {
+		res := make([]bigint.Int, blockLen)
+		for e := 0; e < blockLen; e++ {
+			for j, c := range row {
+				if c == 0 || blocks[j][e].IsZero() {
 					continue
 				}
-				acc[e] = acc[e].Add(blocks[j][e].MulInt64(c))
+				acc.AddMul(blocks[j][e], c)
 			}
+			res[e] = acc.Take()
 		}
-		out[i] = acc
+		out[i] = res
 	}
 	return out
 }

@@ -100,10 +100,7 @@ func (alg *UnbalancedAlgorithm) Mul(a, b bigint.Int) bigint.Int {
 	for i := 0; i < n; i++ {
 		prods[i] = alg.inner.Mul(ea[i], eb[i])
 	}
-	coeffs := ApplyRows(alg.wNum, prods)
-	for i := range coeffs {
-		coeffs[i] = coeffs[i].DivExactInt64(alg.wDen)
-	}
+	coeffs := applyRowsScaled(alg.wNum, prods, alg.wDen, nil)
 	z := Recompose(coeffs, shift)
 	if neg {
 		z = z.Neg()
