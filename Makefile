@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson fuzz
+.PHONY: build test race vet bench benchjson fuzz lint fuzz-smoke ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Machine-checked invariants: the five ftlint analyzers (arenasafe, accown,
+# poolspawn, natalias, costcharge) over the whole tree. See DESIGN.md
+# "Machine-checked invariants".
+lint:
+	$(GO) run ./cmd/ftlint ./...
 
 # Race-detector smoke: the shared Toom worker pool under concurrent
 # MulConcurrent load, plus the machine simulator's lazy channel table.
@@ -27,3 +33,10 @@ benchjson:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNatMul -fuzztime 10s ./internal/bigint
 	$(GO) test -run '^$$' -fuzz FuzzIntArith -fuzztime 10s ./internal/bigint
+
+# The 10-second smoke slice of `fuzz` that CI runs on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzNatMul -fuzztime 10s ./internal/bigint
+
+# ci mirrors .github/workflows/ci.yml locally: everything a PR must pass.
+ci: build test vet race fuzz-smoke lint

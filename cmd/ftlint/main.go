@@ -1,0 +1,75 @@
+// Command ftlint machine-checks the invariants that keep the hot path and
+// the paper's accounting honest: arena ownership (arenasafe), pooled
+// accumulator ownership (accown), bounded-pool-only concurrency (poolspawn),
+// kernel destination aliasing (natalias), and F/BW/L cost charging
+// (costcharge). See DESIGN.md "Machine-checked invariants".
+//
+// Usage:
+//
+//	ftlint [packages]
+//
+// with the usual go list patterns (default ./...). Exits 1 when any finding
+// survives the //ftlint:allow escape hatches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/accown"
+	"repro/internal/analysis/arenasafe"
+	"repro/internal/analysis/costcharge"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/natalias"
+	"repro/internal/analysis/poolspawn"
+)
+
+var analyzers = []*framework.Analyzer{
+	arenasafe.Analyzer,
+	accown.Analyzer,
+	poolspawn.Analyzer,
+	natalias.Analyzer,
+	costcharge.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ftlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := framework.Load(wd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+	diags, err := framework.RunAll(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ftlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+// Package accown enforces the pooled-accumulator ownership protocol of
+// bigint.Acc:
+//
+//   - every Acc obtained from NewAcc() must reach Release() in the same
+//     function (typically `defer acc.Release()`), on every path — a
+//     non-deferred Release with a return statement between NewAcc and the
+//     Release is flagged as a leak;
+//   - no method may be called on an Acc after a non-deferred Release: the
+//     accumulator is back in the pool and may already belong to someone else;
+//   - Release must run at most once — a double Release corrupts the pool.
+//
+// Take() hands off the accumulated *value* (the Acc stays usable and still
+// owes a Release); an Acc that is passed to another function, stored, or
+// returned transfers ownership and is exempted from the local checks.
+// Matching is by name (NewAcc, methods on a type named "Acc"), so the
+// analyzer covers both the real tree and import-free fixtures.
+package accown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "accown",
+	Doc:  "check that every NewAcc reaches Release on all paths and that no Acc is used after Release",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	framework.FuncDecls(pass.Files, func(fd *ast.FuncDecl) {
+		checkFunc(pass, fd)
+	})
+	return nil
+}
+
+type methodUse struct {
+	name     string
+	pos      token.Pos
+	deferred bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	defers := framework.CollectDeferRanges(fd.Body)
+
+	accVars := make(map[types.Object]token.Pos) // acc := NewAcc()
+	uses := make(map[types.Object][]methodUse)  // method calls on acc
+	escaped := make(map[types.Object]bool)      // acc handed off (arg/return/assign)
+	var returns []*ast.ReturnStmt
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if callee := framework.CalleeIdent(call); callee != nil && callee.Name == "NewAcc" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							accVars[obj] = call.Pos()
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.CallExpr:
+			// Method call on a tracked Acc variable?
+			if framework.RecvTypeName(pass.Info, n) == "Acc" {
+				if obj := framework.ReceiverObject(pass.Info, n); obj != nil {
+					if callee := framework.CalleeIdent(n); callee != nil {
+						uses[obj] = append(uses[obj], methodUse{
+							name:     callee.Name,
+							pos:      n.Pos(),
+							deferred: defers.Contains(n.Pos()),
+						})
+					}
+				}
+			}
+			// An Acc passed as a plain argument transfers ownership.
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// An Acc returned or assigned away also escapes local ownership.
+	for _, ret := range returns {
+		for _, expr := range ret.Results {
+			if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					escaped[obj] = true
+				}
+			}
+		}
+	}
+
+	for obj, newPos := range accVars {
+		if escaped[obj] {
+			continue // ownership handed off; the new owner is responsible
+		}
+		us := uses[obj]
+		sort.Slice(us, func(i, j int) bool { return us[i].pos < us[j].pos })
+
+		var release *methodUse
+		for i := range us {
+			if us[i].name == "Release" {
+				release = &us[i]
+				break
+			}
+		}
+		if release == nil {
+			pass.Reportf(newPos, "Acc %q from NewAcc is never released back to the pool (add `defer %s.Release()`)", obj.Name(), obj.Name())
+			continue
+		}
+		if release.deferred {
+			continue // runs at function exit: covers every path, nothing can follow it
+		}
+		for _, ret := range returns {
+			if ret.Pos() > newPos && ret.Pos() < release.pos {
+				pass.Reportf(ret.Pos(), "return leaks Acc %q: Release is not deferred and has not run yet on this path", obj.Name())
+			}
+		}
+		for _, u := range us {
+			if u.pos <= release.pos || u.deferred {
+				continue
+			}
+			if u.name == "Release" {
+				pass.Reportf(u.pos, "Acc %q released twice: the second Release corrupts the pool", obj.Name())
+			} else {
+				pass.Reportf(u.pos, "use of Acc %q after Release: the accumulator is back in the pool", obj.Name())
+			}
+		}
+	}
+}

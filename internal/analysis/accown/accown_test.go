@@ -1,0 +1,12 @@
+package accown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/accown"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAccOwn(t *testing.T) {
+	analysistest.Run(t, accown.Analyzer, "acc")
+}

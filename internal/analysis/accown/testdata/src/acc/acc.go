@@ -1,0 +1,89 @@
+// Fixture for the accown analyzer: miniature stand-ins for the
+// internal/bigint Acc API, matched by name.
+package acc
+
+type Int struct{ v int }
+
+type Acc struct{ v int }
+
+func NewAcc() *Acc                   { return new(Acc) }
+func (a *Acc) Release()              {}
+func (a *Acc) Reset()                {}
+func (a *Acc) Add(x Int)             {}
+func (a *Acc) AddMul(x Int, c int64) {}
+func (a *Acc) Take() Int             { return Int{} }
+
+// ok is the canonical pattern: deferred Release, Take mid-stream is fine.
+func ok(xs []Int) Int {
+	acc := NewAcc()
+	defer acc.Release()
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	v := acc.Take()
+	acc.Add(v) // Take hands off the value; the Acc itself stays usable
+	return acc.Take()
+}
+
+// okEager releases without defer, after the last use, with no return before.
+func okEager(x Int) Int {
+	acc := NewAcc()
+	acc.Add(x)
+	v := acc.Take()
+	acc.Release()
+	return v
+}
+
+func leak(xs []Int) Int {
+	acc := NewAcc() // want "never released back to the pool"
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Take()
+}
+
+func earlyReturn(x Int, cond bool) Int {
+	acc := NewAcc()
+	acc.Add(x)
+	if cond {
+		return Int{} // want "Release is not deferred"
+	}
+	v := acc.Take()
+	acc.Release()
+	return v
+}
+
+func useAfterRelease(x Int) Int {
+	acc := NewAcc()
+	acc.Add(x)
+	acc.Release()
+	acc.Add(x)        // want "after Release"
+	return acc.Take() // want "after Release"
+}
+
+func doubleRelease(x Int) {
+	acc := NewAcc()
+	acc.Add(x)
+	acc.Release()
+	acc.Release() // want "released twice"
+}
+
+// handoff transfers ownership to a callee; the local checks stand down.
+func handoff(x Int) {
+	acc := NewAcc()
+	acc.Add(x)
+	finish(acc)
+}
+
+func finish(a *Acc) {
+	defer a.Release()
+	_ = a.Take()
+}
+
+// leakAllowed shows the audited escape hatch.
+func leakAllowed(x Int) Int {
+	//ftlint:allow accown fixture: long-lived accumulator owned by the caller's loop
+	acc := NewAcc()
+	acc.Add(x)
+	return acc.Take()
+}

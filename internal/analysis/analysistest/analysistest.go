@@ -1,0 +1,161 @@
+// Package analysistest runs an ftlint analyzer over self-contained fixture
+// packages under testdata/src and checks its findings against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest (which the
+// build environment does not provide).
+//
+// A fixture line expecting diagnostics carries a trailing comment
+//
+//	x := f() // want "regexp" "another regexp"
+//
+// with one quoted regexp per expected finding on that line. The run fails on
+// any unmatched expectation and on any unexpected finding. Fixture packages
+// must be import-free: they declare miniature stand-ins for the types the
+// analyzers match by name (arena, Acc, Int, Stats, Proc, nat) instead of
+// importing repro/internal packages.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+type noImporter struct{}
+
+func (noImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("analysistest fixtures must not import packages (got %q)", path)
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes the fixture package testdata/src/<pkg> (relative to the test's
+// working directory) with a and compares findings to // want comments. The
+// fixture's import path is its directory name, so path-scoped analyzers can
+// be exercised by naming fixtures "toom", "parallel", etc.
+func Run(t *testing.T, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := framework.NewInfo()
+	conf := types.Config{Importer: noImporter{}}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags, err := framework.Run(a, &framework.Package{
+		Path:  pkg,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+
+	// Collect expectations: file -> line -> pending regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := indexWant(text)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		pending := wants[k]
+		matched := -1
+		for i, re := range pending {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected finding: %s", k.file, k.line, d.Message)
+			continue
+		}
+		wants[k] = append(pending[:matched], pending[matched+1:]...)
+	}
+
+	var leftover []string
+	for k, pending := range wants {
+		for _, re := range pending {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: expected finding matching %q, got none", k.file, k.line, re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, msg := range leftover {
+		t.Error(msg)
+	}
+}
+
+// indexWant finds the "// want" marker inside a comment's raw text.
+func indexWant(text string) int {
+	for i := 0; i+6 <= len(text); i++ {
+		if text[i:i+4] == "want" && (i == 0 || text[i-1] == ' ' || text[i-1] == '/') {
+			// Require it to look like a marker followed by a quote somewhere.
+			rest := text[i+4:]
+			for j := 0; j < len(rest); j++ {
+				switch rest[j] {
+				case ' ', '\t':
+					continue
+				case '"':
+					return i
+				default:
+					j = len(rest)
+				}
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,203 @@
+// Package arenasafe enforces the limb-arena ownership discipline of
+// internal/bigint (see arena.go there):
+//
+//   - every arena rented with getArena must be returned with putArena in the
+//     same function, and on every path — a non-deferred putArena with a
+//     return statement between the rent and the return is flagged;
+//   - every mark() result must feed a matching release(), and release() must
+//     only ever be given a value produced by mark();
+//   - ensure() may only run while the arena is empty, so it must precede any
+//     alloc() on the same arena in the function;
+//   - a slice produced by alloc() must not escape through a return — after
+//     putArena the backing slab is reused by the next renter.
+//
+// Matching is by name (getArena/putArena, methods on a type named "arena"),
+// so the analyzer works on the real tree and on import-free test fixtures
+// alike. The checks are lexical within one function body: they catch the
+// misuse patterns that matter (leaks on error paths, ensure-after-alloc,
+// escaping scratch) without a full CFG.
+package arenasafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "arenasafe",
+	Doc:  "check getArena/putArena pairing, mark/release balance, ensure-before-alloc, and arena-slice escapes",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	framework.FuncDecls(pass.Files, func(fd *ast.FuncDecl) {
+		checkFunc(pass, fd)
+	})
+	return nil
+}
+
+type putCall struct {
+	pos      token.Pos
+	deferred bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	defers := framework.CollectDeferRanges(fd.Body)
+
+	arenaGets := make(map[types.Object]token.Pos)  // var := getArena()
+	arenaPuts := make(map[types.Object][]putCall)  // putArena(var)
+	markVars := make(map[types.Object]token.Pos)   // m := ar.mark()
+	released := make(map[types.Object]bool)        // m appeared in release(m)
+	allocVars := make(map[types.Object]token.Pos)  // z := ar.alloc(n)
+	firstAlloc := make(map[types.Object]token.Pos) // arena -> earliest alloc pos
+	var returns []*ast.ReturnStmt
+
+	recordDef := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if callee := framework.CalleeIdent(call); callee != nil && callee.Name == "getArena" {
+			arenaGets[obj] = call.Pos()
+			return
+		}
+		if recv := framework.RecvTypeName(pass.Info, call); recv == "arena" {
+			callee := framework.CalleeIdent(call)
+			switch callee.Name {
+			case "mark":
+				markVars[obj] = call.Pos()
+			case "alloc":
+				allocVars[obj] = call.Pos()
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					recordDef(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.CallExpr:
+			callee := framework.CalleeIdent(n)
+			if callee == nil {
+				return true
+			}
+			if callee.Name == "putArena" && len(n.Args) == 1 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						arenaPuts[obj] = append(arenaPuts[obj], putCall{
+							pos:      n.Pos(),
+							deferred: defers.Contains(n.Pos()),
+						})
+					}
+				}
+				return true
+			}
+			if framework.RecvTypeName(pass.Info, n) != "arena" {
+				return true
+			}
+			recvObj := framework.ReceiverObject(pass.Info, n)
+			switch callee.Name {
+			case "alloc":
+				if recvObj != nil {
+					if first, ok := firstAlloc[recvObj]; !ok || n.Pos() < first {
+						firstAlloc[recvObj] = n.Pos()
+					}
+				}
+			case "ensure":
+				if recvObj != nil {
+					if first, ok := firstAlloc[recvObj]; ok && first < n.Pos() {
+						pass.Reportf(n.Pos(), "ensure() called with outstanding allocations: alloc() on the same arena at %s precedes it (ensure must run on an empty arena)",
+							pass.Fset.Position(first))
+					}
+				}
+			case "release":
+				if len(n.Args) == 1 {
+					id, ok := ast.Unparen(n.Args[0]).(*ast.Ident)
+					if !ok {
+						pass.Reportf(n.Pos(), "release() argument does not come from mark()")
+						return true
+					}
+					obj := pass.Info.Uses[id]
+					if _, isMark := markVars[obj]; isMark {
+						released[obj] = true
+					} else {
+						pass.Reportf(n.Pos(), "release() argument %q does not come from mark()", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// ensure-after-alloc needs alloc positions before ensure positions; the
+	// Inspect above visits in source order, so firstAlloc is already earliest
+	// — but an ensure that precedes the alloc lexically was handled inline.
+
+	for obj, getPos := range arenaGets {
+		puts := arenaPuts[obj]
+		if len(puts) == 0 {
+			pass.Reportf(getPos, "arena %q obtained from getArena is never returned with putArena", obj.Name())
+			continue
+		}
+		firstPut := puts[0]
+		for _, p := range puts[1:] {
+			if p.pos < firstPut.pos {
+				firstPut = p
+			}
+		}
+		anyDeferred := false
+		for _, p := range puts {
+			anyDeferred = anyDeferred || p.deferred
+		}
+		if anyDeferred {
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() > getPos && ret.Pos() < firstPut.pos {
+				pass.Reportf(ret.Pos(), "return leaks arena %q: putArena is not deferred and has not run yet on this path", obj.Name())
+			}
+		}
+	}
+
+	for obj, markPos := range markVars {
+		if !released[obj] {
+			pass.Reportf(markPos, "mark() result %q has no matching release() in this function", obj.Name())
+		}
+	}
+
+	for _, ret := range returns {
+		for _, expr := range ret.Results {
+			ast.Inspect(expr, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if _, isAlloc := allocVars[obj]; isAlloc {
+					pass.Reportf(ret.Pos(), "arena-allocated slice %q escapes via return: the backing slab is recycled by putArena", id.Name)
+				}
+				return true
+			})
+		}
+	}
+}

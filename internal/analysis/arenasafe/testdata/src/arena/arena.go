@@ -1,0 +1,89 @@
+// Fixture for the arenasafe analyzer: miniature stand-ins for the
+// internal/bigint arena API, matched by name.
+package arena
+
+type nat []uint64
+
+type arena struct {
+	buf []uint64
+	off int
+}
+
+func (a *arena) mark() int       { return a.off }
+func (a *arena) release(m int)   { a.off = m }
+func (a *arena) alloc(n int) nat { return make(nat, n) }
+func (a *arena) ensure(n int)    {}
+
+func getArena() *arena  { return new(arena) }
+func putArena(a *arena) {}
+
+// ok follows the full discipline: deferred put, balanced mark/release,
+// ensure before any alloc, no escaping scratch.
+func ok(n int) {
+	ar := getArena()
+	defer putArena(ar)
+	ar.ensure(n)
+	m := ar.mark()
+	_ = ar.alloc(n)
+	ar.release(m)
+}
+
+// okEager releases without defer but with no return in between.
+func okEager(n int) {
+	ar := getArena()
+	_ = ar.alloc(n)
+	putArena(ar)
+}
+
+func leak(n int) {
+	ar := getArena() // want "never returned with putArena"
+	_ = ar.alloc(n)
+}
+
+func earlyReturn(n int) nat {
+	ar := getArena()
+	z := make(nat, n)
+	if n > 4 {
+		return z // want "putArena is not deferred"
+	}
+	putArena(ar)
+	return z
+}
+
+func unbalancedMark(n int) {
+	ar := getArena()
+	defer putArena(ar)
+	m := ar.mark() // want "no matching release"
+	_ = m
+	_ = ar.alloc(n)
+}
+
+func badRelease(n int) {
+	ar := getArena()
+	defer putArena(ar)
+	x := n
+	ar.release(x) // want "does not come from mark"
+}
+
+func ensureLate(n int) {
+	ar := getArena()
+	defer putArena(ar)
+	_ = ar.alloc(8)
+	ar.ensure(n) // want "outstanding allocations"
+}
+
+func escape(n int) nat {
+	ar := getArena()
+	defer putArena(ar)
+	z := ar.alloc(n)
+	return z // want "escapes via return"
+}
+
+// escapeAllowed shows the audited escape hatch.
+func escapeAllowed(n int) nat {
+	ar := getArena()
+	defer putArena(ar)
+	z := ar.alloc(n)
+	//ftlint:allow arenasafe fixture: copied by the caller before the arena is reused
+	return z
+}

@@ -1,0 +1,12 @@
+package costcharge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/costcharge"
+)
+
+func TestCostCharge(t *testing.T) {
+	analysistest.Run(t, costcharge.Analyzer, "toom")
+}

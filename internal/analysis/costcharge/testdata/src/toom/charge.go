@@ -1,0 +1,85 @@
+// Fixture for the costcharge analyzer, named "toom" so its synthetic import
+// path falls under the cost-accounting rule. Miniature stand-ins for Int,
+// Acc, Stats, and Proc are matched by name.
+package toom
+
+type Int struct{ v int }
+
+func (x Int) Add(y Int) Int        { return x }
+func (x Int) Sub(y Int) Int        { return x }
+func (x Int) Mul(y Int) Int        { return x }
+func (x Int) MulInt64(v int64) Int { return x }
+func (x Int) Shl(s uint) Int       { return x }
+func (x Int) Neg() Int             { return x }
+func (x Int) IsZero() bool         { return x.v == 0 }
+func (x Int) WordLen() int         { return x.v }
+
+type Acc struct{ v int }
+
+func (a *Acc) AddMul(x Int, c int64) {}
+func (a *Acc) Take() Int             { return Int{} }
+
+type Stats struct{ WordOps int64 }
+
+func (s *Stats) chargeWords(n int64) {
+	if s != nil {
+		s.WordOps += n
+	}
+}
+
+type Proc struct{ flops int64 }
+
+func (p *Proc) Work(n int64) { p.flops += n }
+
+// Uncharged performs limb arithmetic with no channel to the cost model.
+func Uncharged(x, y Int) Int { // want "no channel to the F/BW/L cost model"
+	return x.Add(y)
+}
+
+// UnchargedAcc is the accumulator flavor of the same violation.
+func UnchargedAcc(xs []Int) Int { // want "no channel to the F/BW/L cost model"
+	var a Acc
+	for _, x := range xs {
+		a.AddMul(x, 3)
+	}
+	return a.Take()
+}
+
+// ChargedDirect charges Stats itself.
+func ChargedDirect(x, y Int, stats *Stats) Int {
+	stats.chargeWords(int64(x.WordLen()))
+	return x.Add(y)
+}
+
+// ChargedProc charges through the machine processor.
+func ChargedProc(p *Proc, x, y Int) Int {
+	p.Work(2)
+	return x.Mul(y)
+}
+
+// ChargedDelegate routes through a cost-aware callee; passing nil Stats is
+// the documented caller opt-out, the channel still exists.
+func ChargedDelegate(x, y Int) Int {
+	return addWithStats(x, y, nil)
+}
+
+func addWithStats(x, y Int, stats *Stats) Int {
+	stats.chargeWords(int64(x.WordLen()))
+	return x.Add(y)
+}
+
+// unexported functions are not checked: their cost is their callers' duty.
+func unexportedHelper(x, y Int) Int {
+	return x.Sub(y)
+}
+
+// Structural reports no finding: Neg/IsZero/WordLen are bookkeeping, not
+// limb arithmetic.
+func Structural(x Int) bool {
+	return x.Neg().IsZero()
+}
+
+//ftlint:allow costcharge fixture: host-side assembly outside the model
+func Exempt(x, y Int) Int {
+	return x.Add(y)
+}

@@ -1,0 +1,240 @@
+// Package framework is a dependency-free re-implementation of the slice of
+// golang.org/x/tools/go/analysis that the ftlint analyzers need. The build
+// environment bakes in only the standard library, so instead of importing
+// x/tools we provide the same shape — an Analyzer with a Run func over a
+// type-checked Pass that reports position-tagged Diagnostics — on top of
+// go/ast, go/types, and `go list -export` (see load.go).
+//
+// Suppression is handled centrally: a finding is dropped when an
+//
+//	//ftlint:allow <analyzer>[,<analyzer>...] <rationale>
+//
+// comment sits on the reported line, on the line directly above it, or in
+// the doc comment of the enclosing function declaration. The rationale text
+// is free-form but expected — the escape hatch exists to make exceptions
+// auditable, not silent.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //ftlint:allow
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/toom", or fixture name)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies one analyzer to one package and returns its findings with
+// //ftlint:allow suppressions already applied, sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Path:     pkg.Path,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	allowed := buildAllowIndex(pkg)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if !allowed.suppresses(a.Name, d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}
+
+// RunAll applies every analyzer to every package.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			ds, err := Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ds...)
+		}
+	}
+	return out, nil
+}
+
+// allowIndex records where //ftlint:allow comments take effect.
+type allowIndex struct {
+	// lines maps file -> line -> analyzer names allowed at that line (the
+	// comment's own line; a diagnostic on that line or the next is covered).
+	lines map[string]map[int]map[string]bool
+	// funcRanges lists function bodies whose doc comment carries an allow:
+	// every diagnostic inside is covered.
+	funcRanges []allowRange
+	fset       *token.FileSet
+}
+
+type allowRange struct {
+	file       string
+	start, end int // line range, inclusive
+	names      map[string]bool
+}
+
+func buildAllowIndex(pkg *Package) *allowIndex {
+	idx := &allowIndex{lines: make(map[string]map[int]map[string]bool), fset: pkg.Fset}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx.lines[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			names := make(map[string]bool)
+			for _, c := range fd.Doc.List {
+				for _, n := range parseAllow(c.Text) {
+					names[n] = true
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			idx.funcRanges = append(idx.funcRanges, allowRange{
+				file:  start.Filename,
+				start: start.Line,
+				end:   end.Line,
+				names: names,
+			})
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts analyzer names from an //ftlint:allow comment line.
+// Syntax: "//ftlint:allow name[,name...] free-form rationale".
+func parseAllow(text string) []string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "ftlint:allow") {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "ftlint:allow"))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func (idx *allowIndex) suppresses(name string, d Diagnostic) bool {
+	pos := d.Position
+	if byLine := idx.lines[pos.Filename]; byLine != nil {
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			if set := byLine[line]; set != nil && set[name] {
+				return true
+			}
+		}
+	}
+	for _, r := range idx.funcRanges {
+		if r.file == pos.Filename && pos.Line >= r.start && pos.Line <= r.end && r.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

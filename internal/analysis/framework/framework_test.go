@@ -1,0 +1,50 @@
+package framework_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/arenasafe"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/natalias"
+)
+
+// TestLoadAndRun exercises the `go list -export` loader against the real
+// tree: internal/bigint must load, type-check, and come out clean under the
+// analyzers that police it (it is the package whose invariants they encode).
+func TestLoadAndRun(t *testing.T) {
+	pkgs, err := framework.Load(".", "repro/internal/bigint")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/bigint" {
+		t.Fatalf("Load returned %d packages, want exactly repro/internal/bigint", len(pkgs))
+	}
+	for _, a := range []*framework.Analyzer{arenasafe.Analyzer, natalias.Analyzer} {
+		diags, err := framework.Run(a, pkgs[0])
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding in clean package: %s: %s", a.Name, d.Position, d.Message)
+		}
+	}
+}
+
+func TestPathHasSegment(t *testing.T) {
+	cases := []struct {
+		path, seg string
+		want      bool
+	}{
+		{"repro/internal/toom", "toom", true},
+		{"repro/internal/toomgraph", "toom", false},
+		{"repro/internal/ftparallel", "parallel", false},
+		{"repro/internal/parallel", "parallel", true},
+		{"toom", "toom", true},
+		{"", "toom", false},
+	}
+	for _, c := range cases {
+		if got := framework.PathHasSegment(c.path, c.seg); got != c.want {
+			t.Errorf("PathHasSegment(%q, %q) = %v, want %v", c.path, c.seg, got, c.want)
+		}
+	}
+}

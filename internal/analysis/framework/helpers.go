@@ -1,0 +1,144 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared syntactic/semantic helpers for the ftlint analyzers. Everything
+// here matches by *name* (function name, named-type name) rather than by
+// package identity: the same analyzer then works both on the real tree and
+// on the self-contained testdata fixtures, which declare miniature stand-ins
+// for arena/Acc/Int/Stats/Proc instead of importing repro packages.
+
+// CalleeIdent returns the rightmost identifier of a call's function
+// expression: f(...) -> f, pkg.F(...) -> F, x.m(...) -> m. Nil when the
+// callee is not a plain (possibly selected) identifier.
+func CalleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}
+
+// CalleeFunc resolves the called function or method object, when the callee
+// is a declared func (not a func-typed variable or a conversion).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	id := CalleeIdent(call)
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// NamedTypeName unwraps pointers and returns the name of the underlying
+// named type ("" for unnamed types).
+func NamedTypeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	type hasObj interface{ Obj() *types.TypeName }
+	if n, ok := t.(hasObj); ok { // *types.Named and *types.Alias both qualify
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// RecvTypeName returns the receiver type name of a method call expression
+// ("" when the call is not a method call).
+func RecvTypeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		return NamedTypeName(s.Recv())
+	}
+	// Method expression or package-qualified function.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return NamedTypeName(sig.Recv().Type())
+		}
+	}
+	return ""
+}
+
+// ReceiverObject resolves the object of a method call's receiver when the
+// receiver expression is a plain identifier (nil otherwise).
+func ReceiverObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// DeferRanges records the position spans of every defer statement in a
+// function body, so analyzers can ask whether a call runs deferred (either
+// `defer f(x)` directly or inside a deferred closure).
+type DeferRanges [][2]token.Pos
+
+// CollectDeferRanges gathers the spans of all DeferStmts under root.
+func CollectDeferRanges(root ast.Node) DeferRanges {
+	var spans DeferRanges
+	ast.Inspect(root, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			spans = append(spans, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// Contains reports whether pos falls inside any defer statement.
+func (r DeferRanges) Contains(pos token.Pos) bool {
+	for _, s := range r {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// PathHasSegment reports whether an import path contains seg as a complete
+// path segment ("repro/internal/toom" has segment "toom" but not "too").
+func PathHasSegment(path, seg string) bool {
+	for len(path) > 0 {
+		i := 0
+		for i < len(path) && path[i] != '/' {
+			i++
+		}
+		if path[:i] == seg {
+			return true
+		}
+		if i == len(path) {
+			break
+		}
+		path = path[i+1:]
+	}
+	return false
+}
+
+// FuncDecls calls fn for every function declaration with a body.
+func FuncDecls(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

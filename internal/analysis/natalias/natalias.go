@@ -1,0 +1,91 @@
+// Package natalias checks calls to the destination-reuse nat kernels
+// (natAddTo, natSubTo, natMulWordTo, natShlTo, natDivWordTo). The kernels
+// document exactly one aliasing mode: dst may be *identical* to a source
+// operand (same slice, offset 0) — their loops read and write the same index
+// before moving on. A dst that merely overlaps a source (a re-slice of the
+// same base at a shifted offset, or a source that is a re-slice of dst)
+// clobbers source limbs before they are read and corrupts the result, so any
+// call where dst shares a syntactic base with a source without being
+// token-for-token identical to it is flagged.
+//
+// The check is syntactic: two arguments alias when their unparenthesized
+// source text shares the same base expression under slicing. That is exactly
+// the granularity at which the kernels' contract is written, and it keeps
+// the analyzer dependency-free.
+package natalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "natalias",
+	Doc:  "forbid partially-overlapping dst/src arguments to the destination-reuse nat kernels",
+	Run:  run,
+}
+
+// kernelSrcArgs maps kernel name -> indices of its nat source operands
+// (index 0 is always dst).
+var kernelSrcArgs = map[string][]int{
+	"natAddTo":     {1, 2},
+	"natSubTo":     {1, 2},
+	"natMulWordTo": {1},
+	"natShlTo":     {1},
+	"natDivWordTo": {1},
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := framework.CalleeIdent(call)
+			if callee == nil {
+				return true
+			}
+			srcIdxs, ok := kernelSrcArgs[callee.Name]
+			if !ok || len(call.Args) <= srcIdxs[len(srcIdxs)-1] {
+				return true
+			}
+			dst := call.Args[0]
+			dstText := types.ExprString(ast.Unparen(dst))
+			dstBase := baseText(dst)
+			for _, i := range srcIdxs {
+				src := call.Args[i]
+				srcText := types.ExprString(ast.Unparen(src))
+				if dstText == srcText {
+					// Documented fully-in-place use: dst identical to src.
+					continue
+				}
+				if dstBase != "" && dstBase == baseText(src) {
+					pass.Reportf(call.Pos(), "dst %q partially aliases source %q: %s supports only exact in-place reuse (dst identical to a source operand)",
+						dstText, srcText, callee.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// baseText strips slicing from an expression and returns the source text of
+// the underlying base ("" when the expression has no identifier base).
+func baseText(e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident, *ast.SelectorExpr:
+			return types.ExprString(ast.Unparen(e))
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package natalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/natalias"
+)
+
+func TestNatAlias(t *testing.T) {
+	analysistest.Run(t, natalias.Analyzer, "natalias")
+}

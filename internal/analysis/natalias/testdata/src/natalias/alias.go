@@ -1,0 +1,44 @@
+// Fixture for the natalias analyzer: miniature stand-ins for the
+// destination-reuse nat kernels, matched by name.
+package natalias
+
+type nat []uint64
+
+func natAddTo(dst, x, y nat) nat                      { return dst }
+func natSubTo(dst, x, y nat) nat                      { return dst }
+func natMulWordTo(dst, x nat, w uint64) nat           { return dst }
+func natShlTo(dst, x nat, s uint) nat                 { return dst }
+func natDivWordTo(dst, x nat, w uint64) (nat, uint64) { return dst, 0 }
+
+type acc struct {
+	abs nat
+	tmp nat
+}
+
+func use(a, b, c nat, ac *acc) {
+	// Documented fully-in-place uses: dst identical to a source.
+	_ = natAddTo(a, a, b)
+	_ = natSubTo(a, a, b)
+	_ = natSubTo(a, b, a)
+	_ = natMulWordTo(b, b, 3)
+	_ = natShlTo(b, b, 1)
+	_, _ = natDivWordTo(c, c, 5)
+	ac.abs = natAddTo(ac.abs, ac.abs, b)
+	ac.tmp = natMulWordTo(ac.tmp, ac.abs, 7)
+
+	// Disjoint operands are always fine.
+	_ = natAddTo(a, b, c)
+
+	// Partial overlap: dst shares a base with a source without being
+	// identical to it — the kernels clobber source limbs early.
+	_ = natAddTo(a[1:], a, b)           // want "partially aliases"
+	_ = natAddTo(a, b, a[2:])           // want "partially aliases"
+	_ = natSubTo(b[:2], b, c)           // want "partially aliases"
+	_ = natMulWordTo(c[1:], c, 9)       // want "partially aliases"
+	_ = natShlTo(a[3:], a, 2)           // want "partially aliases"
+	_ = natAddTo(ac.abs[1:], ac.abs, b) // want "partially aliases"
+
+	// The audited escape hatch.
+	//ftlint:allow natalias fixture: offset proven safe by construction
+	_ = natAddTo(a[1:], a, b)
+}

@@ -1,0 +1,16 @@
+package poolspawn_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolspawn"
+)
+
+func TestPoolSpawnGoverned(t *testing.T) {
+	analysistest.Run(t, poolspawn.Analyzer, "toom")
+}
+
+func TestPoolSpawnUngoverned(t *testing.T) {
+	analysistest.Run(t, poolspawn.Analyzer, "other")
+}

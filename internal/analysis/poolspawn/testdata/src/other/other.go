@@ -1,0 +1,7 @@
+// Fixture for the poolspawn analyzer: a package outside the pool-governed
+// list may spawn goroutines freely.
+package other
+
+func spawn(fn func()) {
+	go fn() // no finding: "other" is not pool-governed
+}

@@ -36,9 +36,15 @@ func (a *arena) alloc(n int) nat {
 
 // ensure grows the slab to at least n limbs. It must only be called while
 // the arena is empty (no outstanding allocations), since growth replaces the
-// backing array.
+// backing array — live allocations would silently keep pointing at the old
+// slab while new ones come from the new slab. Misuse panics instead of
+// no-op'ing: the ftlint arenasafe analyzer enforces the call order
+// statically, and this check backs it at run time.
 func (a *arena) ensure(n int) {
-	if a.off == 0 && len(a.buf) < n {
+	if a.off != 0 {
+		panic("bigint: arena.ensure called with outstanding allocations (ensure must precede all alloc calls)")
+	}
+	if len(a.buf) < n {
 		a.buf = make([]uint64, n)
 	}
 }

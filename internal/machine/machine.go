@@ -285,6 +285,7 @@ func (m *Machine) Run(program func(*Proc) error) (*Report, error) {
 	var wg sync.WaitGroup
 	for i := range m.procs {
 		wg.Add(1)
+		//ftlint:allow poolspawn the simulator IS the machine: one goroutine per simulated processor, bounded by cfg.P, not algorithm fan-out
 		go func(p *Proc) {
 			defer wg.Done()
 			defer func() {

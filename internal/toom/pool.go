@@ -51,6 +51,7 @@ func (p *workerPool) fork(wg *sync.WaitGroup, fn func()) {
 	case p.slots <- struct{}{}:
 		wg.Add(1)
 		p.spawned.Add(1)
+		//ftlint:allow poolspawn this is the bounded pool's own worker launch; admission is gated by the slot semaphore acquired above
 		go func() {
 			defer func() {
 				p.active.Add(-1)

@@ -438,6 +438,8 @@ func splitDigits(a bigint.Int, k, shift int) []bigint.Int {
 // Recompose evaluates a signed coefficient vector at B = 2^shift:
 // Σ coeffs[i]·2^{i·shift}. The signed adds perform the carry propagation
 // that Algorithm 1 calls "compute the carry".
+//
+//ftlint:allow costcharge recomposition is charged by the callers: mulAbs charges wordsOf(c) per coefficient before calling, and AssembleFrom runs host-side outside the model
 func Recompose(coeffs []bigint.Int, shift int) bigint.Int {
 	acc := bigint.NewAcc()
 	defer acc.Release()
@@ -451,6 +453,8 @@ func Recompose(coeffs []bigint.Int, shift int) bigint.Int {
 // ApplyRows computes M·x for an integer matrix given as int64 rows. It is
 // the workhorse of both evaluation and (scaled) interpolation: each output
 // is a small-scalar combination of big integers.
+//
+//ftlint:allow costcharge a context-free primitive: callers charge its exact word cost via the companion RowsWork(rows, x)
 func ApplyRows(rows [][]int64, x []bigint.Int) []bigint.Int {
 	out := make([]bigint.Int, len(rows))
 	acc := bigint.NewAcc()
@@ -475,6 +479,8 @@ func ApplyRows(rows [][]int64, x []bigint.Int) []bigint.Int {
 // (out[i] = Σ_j M[i][j]·blocks[j], element-wise over the block). This is
 // the "multiplication between a matrix and a block vector" of Algorithm 2,
 // and the local computation of a parallel BFS step.
+//
+//ftlint:allow costcharge a context-free primitive: lazy-interpolation callers charge via blocksWork and the parallel layers charge the same work to their Proc
 func ApplyRowsToBlocks(rows [][]int64, blocks [][]bigint.Int) [][]bigint.Int {
 	if len(blocks) == 0 {
 		return nil
