@@ -8,16 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Machine-checked invariants: the five ftlint analyzers (arenasafe, accown,
-# poolspawn, natalias, costcharge) over the whole tree. See DESIGN.md
-# "Machine-checked invariants".
+# Machine-checked invariants: the seven ftlint analyzers (arenasafe, accown,
+# poolspawn, natalias, costcharge, chanproto, statsrace) plus the stale-
+# suppression audit, over the whole tree — including internal/analysis
+# itself. See DESIGN.md "Machine-checked invariants". Fixture packages under
+# testdata are not go-list packages, so ./... never analyzes them.
 lint:
 	$(GO) run ./cmd/ftlint ./...
 
-# Race-detector smoke: the shared Toom worker pool under concurrent
-# MulConcurrent load, plus the machine simulator's lazy channel table.
+# Full-tree race detector pass (~2 minutes; the crosscheck and ftparallel
+# simulations dominate). Fixtures under testdata are not packages, so ./...
+# never compiles them.
 race:
-	$(GO) test -race -run 'MulConcurrent|WorkerPool|LazyChannel' ./internal/toom ./internal/machine
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,9 +28,11 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench 'Benchmark(Table1|Alloc)' -benchmem -benchtime 1x .
 
-# Regenerate the committed benchmark snapshot (see BENCH_PR1.json).
+# Regenerate the committed benchmark snapshot for the current PR (the
+# BENCH_PR*.json trajectory is append-only; see cmd/benchjson).
+BENCH_OUT ?= BENCH_PR3.json
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_PR1.json
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Short fuzz pass over the bigint kernels (seed corpus always runs in `make test`).
 fuzz:

@@ -1,8 +1,12 @@
 // Command ftlint machine-checks the invariants that keep the hot path and
 // the paper's accounting honest: arena ownership (arenasafe), pooled
-// accumulator ownership (accown), bounded-pool-only concurrency (poolspawn),
-// kernel destination aliasing (natalias), and F/BW/L cost charging
-// (costcharge). See DESIGN.md "Machine-checked invariants".
+// accumulator ownership (accown) — both path-sensitive over the framework's
+// CFG — bounded-pool-only concurrency (poolspawn), kernel destination
+// aliasing (natalias), F/BW/L cost charging (costcharge), simulator channel
+// discipline (chanproto), and Stats-counter races from workers (statsrace).
+// The run also audits the //ftlint:allow comments themselves: an allow that
+// names an unknown analyzer or no longer suppresses anything is a finding
+// (allowaudit). See DESIGN.md "Machine-checked invariants".
 //
 // Usage:
 //
@@ -19,10 +23,12 @@ import (
 
 	"repro/internal/analysis/accown"
 	"repro/internal/analysis/arenasafe"
+	"repro/internal/analysis/chanproto"
 	"repro/internal/analysis/costcharge"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/natalias"
 	"repro/internal/analysis/poolspawn"
+	"repro/internal/analysis/statsrace"
 )
 
 var analyzers = []*framework.Analyzer{
@@ -31,6 +37,8 @@ var analyzers = []*framework.Analyzer{
 	poolspawn.Analyzer,
 	natalias.Analyzer,
 	costcharge.Analyzer,
+	chanproto.Analyzer,
+	statsrace.Analyzer,
 }
 
 func main() {

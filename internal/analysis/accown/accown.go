@@ -2,12 +2,20 @@
 // bigint.Acc:
 //
 //   - every Acc obtained from NewAcc() must reach Release() in the same
-//     function (typically `defer acc.Release()`), on every path — a
-//     non-deferred Release with a return statement between NewAcc and the
-//     Release is flagged as a leak;
-//   - no method may be called on an Acc after a non-deferred Release: the
-//     accumulator is back in the pool and may already belong to someone else;
-//   - Release must run at most once — a double Release corrupts the pool.
+//     function (typically `defer acc.Release()`), on *every* control-flow
+//     path — a release hidden in one branch of an if, or skipped by an early
+//     return, is a pool leak;
+//   - no method may be called on an Acc after Release: the accumulator is
+//     back in the pool and may already belong to someone else. This includes
+//     uses that only happen on the *next* loop iteration after a release in
+//     the loop body;
+//   - Release must run at most once per acquisition — a double Release
+//     corrupts the pool.
+//
+// Since PR 3 the checks are flow-sensitive: each Acc's lifecycle runs
+// through the framework's CFG + dataflow protocol checker (see
+// framework/protocol.go), so branch-only releases and loop-carried
+// released states are real fixpoint facts, not lexical approximations.
 //
 // Take() hands off the accumulated *value* (the Acc stays usable and still
 // owes a Release); an Acc that is passed to another function, stored, or
@@ -20,14 +28,13 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 
 	"repro/internal/analysis/framework"
 )
 
 var Analyzer = &framework.Analyzer{
 	Name: "accown",
-	Doc:  "check that every NewAcc reaches Release on all paths and that no Acc is used after Release",
+	Doc:  "check that every NewAcc reaches Release on all paths (flow-sensitive) and that no Acc is used after Release",
 	Run:  run,
 }
 
@@ -47,10 +54,9 @@ type methodUse struct {
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 	defers := framework.CollectDeferRanges(fd.Body)
 
-	accVars := make(map[types.Object]token.Pos) // acc := NewAcc()
+	accVars := make(map[types.Object]token.Pos) // acc := NewAcc() (CallExpr pos)
 	uses := make(map[types.Object][]methodUse)  // method calls on acc
 	escaped := make(map[types.Object]bool)      // acc handed off (arg/return/assign)
-	var returns []*ast.ReturnStmt
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -73,7 +79,14 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.ReturnStmt:
-			returns = append(returns, n)
+			// An Acc returned escapes local ownership.
+			for _, expr := range n.Results {
+				if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
 		case *ast.CallExpr:
 			// Method call on a tracked Acc variable?
 			if framework.RecvTypeName(pass.Info, n) == "Acc" {
@@ -99,51 +112,65 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 		return true
 	})
 
-	// An Acc returned or assigned away also escapes local ownership.
-	for _, ret := range returns {
-		for _, expr := range ret.Results {
-			if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
-				if obj := pass.Info.Uses[id]; obj != nil {
-					escaped[obj] = true
-				}
-			}
-		}
+	if len(accVars) == 0 {
+		return
 	}
+	cfg := framework.NewCFG(fd.Body)
 
 	for obj, newPos := range accVars {
 		if escaped[obj] {
 			continue // ownership handed off; the new owner is responsible
 		}
-		us := uses[obj]
-		sort.Slice(us, func(i, j int) bool { return us[i].pos < us[j].pos })
-
-		var release *methodUse
-		for i := range us {
-			if us[i].name == "Release" {
-				release = &us[i]
-				break
+		releases, deferredRelease := 0, false
+		for _, u := range uses[obj] {
+			if u.name == "Release" {
+				if u.deferred {
+					deferredRelease = true
+				} else {
+					releases++
+				}
 			}
 		}
-		if release == nil {
+		if deferredRelease {
+			continue // runs at function exit: covers every path, nothing can follow it
+		}
+		if releases == 0 {
 			pass.Reportf(newPos, "Acc %q from NewAcc is never released back to the pool (add `defer %s.Release()`)", obj.Name(), obj.Name())
 			continue
 		}
-		if release.deferred {
-			continue // runs at function exit: covers every path, nothing can follow it
+
+		events := map[token.Pos]framework.ProtoEvent{
+			newPos: {Kind: framework.ProtoAcquire, Name: "NewAcc"},
 		}
-		for _, ret := range returns {
-			if ret.Pos() > newPos && ret.Pos() < release.pos {
-				pass.Reportf(ret.Pos(), "return leaks Acc %q: Release is not deferred and has not run yet on this path", obj.Name())
+		for _, u := range uses[obj] {
+			if u.deferred {
+				continue // runs at exit; nothing observable follows it
 			}
-		}
-		for _, u := range us {
-			if u.pos <= release.pos || u.deferred {
-				continue
-			}
+			kind := framework.ProtoUse
 			if u.name == "Release" {
-				pass.Reportf(u.pos, "Acc %q released twice: the second Release corrupts the pool", obj.Name())
-			} else {
-				pass.Reportf(u.pos, "use of Acc %q after Release: the accumulator is back in the pool", obj.Name())
+				kind = framework.ProtoRelease
+			}
+			events[u.pos] = framework.ProtoEvent{Kind: kind, Name: u.name}
+		}
+
+		for _, f := range framework.CheckProtocol(cfg, events, fd.Body.Rbrace) {
+			switch f.Kind {
+			case framework.LeakReturn:
+				pass.Reportf(f.Pos, "return leaks Acc %q: Release is not deferred and has not run yet on this path", obj.Name())
+			case framework.LeakReturnPartial:
+				pass.Reportf(f.Pos, "return leaks Acc %q on some path: Release does not run on every path reaching this return", obj.Name())
+			case framework.LeakExit:
+				pass.Reportf(f.Pos, "function exit leaks Acc %q: Release never runs before falling off the end", obj.Name())
+			case framework.LeakExitPartial:
+				pass.Reportf(f.Pos, "Acc %q is not released on every path to the function exit (Release runs in a branch or loop that may be skipped)", obj.Name())
+			case framework.UseAfterRelease:
+				pass.Reportf(f.Pos, "use of Acc %q after Release: the accumulator is back in the pool", obj.Name())
+			case framework.UseAfterReleasePartial:
+				pass.Reportf(f.Pos, "use of Acc %q after Release on some path (a branch or previous loop iteration already released it)", obj.Name())
+			case framework.DoubleRelease:
+				pass.Reportf(f.Pos, "Acc %q released twice: the second Release corrupts the pool", obj.Name())
+			case framework.DoubleReleasePartial:
+				pass.Reportf(f.Pos, "Acc %q may be released twice (a path reaches this Release with the Acc already released)", obj.Name())
 			}
 		}
 	}

@@ -80,6 +80,36 @@ func finish(a *Acc) {
 	_ = a.Take()
 }
 
+// branchLeak releases only when cond holds; the fall-through path leaks.
+// The pre-PR-3 lexical checker saw "a Release exists" and stayed silent.
+func branchLeak(x Int, cond bool) {
+	acc := NewAcc()
+	acc.Add(x)
+	if cond {
+		acc.Release()
+	}
+} // want "not released on every path"
+
+// branchUseAfterRelease merges a released and a live state before the Take.
+func branchUseAfterRelease(x Int, cond bool) Int {
+	acc := NewAcc()
+	acc.Add(x)
+	if cond {
+		acc.Release()
+	}
+	return acc.Take() // want "after Release on some path" "leaks Acc .acc. on some path"
+}
+
+// loopUseAfterRelease: the Release flows over the loop back edge into the
+// next iteration's Add, and the zero-iteration path leaks entirely.
+func loopUseAfterRelease(xs []Int) {
+	acc := NewAcc()
+	for _, x := range xs {
+		acc.Add(x)    // want "after Release on some path"
+		acc.Release() // want "may be released twice"
+	}
+} // want "not released on every path"
+
 // leakAllowed shows the audited escape hatch.
 func leakAllowed(x Int) Int {
 	//ftlint:allow accown fixture: long-lived accumulator owned by the caller's loop

@@ -2,20 +2,25 @@
 // internal/bigint (see arena.go there):
 //
 //   - every arena rented with getArena must be returned with putArena in the
-//     same function, and on every path — a non-deferred putArena with a
-//     return statement between the rent and the return is flagged;
-//   - every mark() result must feed a matching release(), and release() must
-//     only ever be given a value produced by mark();
+//     same function, on *every* control-flow path — a putArena hidden in one
+//     branch, skipped by an early return, or never reached from a loop's
+//     zero-iteration path is a rental leak;
+//   - no arena method may run after putArena (the slab belongs to the next
+//     renter), including uses reached over a loop back edge;
+//   - every mark() result must feed a matching release() on every path, and
+//     release() must only ever be given a value produced by mark();
 //   - ensure() may only run while the arena is empty, so it must precede any
 //     alloc() on the same arena in the function;
 //   - a slice produced by alloc() must not escape through a return — after
 //     putArena the backing slab is reused by the next renter.
 //
-// Matching is by name (getArena/putArena, methods on a type named "arena"),
-// so the analyzer works on the real tree and on import-free test fixtures
-// alike. The checks are lexical within one function body: they catch the
-// misuse patterns that matter (leaks on error paths, ensure-after-alloc,
-// escaping scratch) without a full CFG.
+// Since PR 3 the pairing checks are flow-sensitive: each arena's and each
+// mark's lifecycle runs through the framework's CFG + dataflow protocol
+// checker (framework/protocol.go), so release-in-one-branch and
+// use-after-put-behind-a-loop are fixpoint facts rather than lexical
+// position comparisons. Matching stays by name (getArena/putArena, methods
+// on a type named "arena"), so the analyzer works on the real tree and on
+// import-free test fixtures alike.
 package arenasafe
 
 import (
@@ -28,7 +33,7 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "arenasafe",
-	Doc:  "check getArena/putArena pairing, mark/release balance, ensure-before-alloc, and arena-slice escapes",
+	Doc:  "check getArena/putArena pairing and mark/release balance on all paths, ensure-before-alloc, and arena-slice escapes",
 	Run:  run,
 }
 
@@ -39,21 +44,43 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-type putCall struct {
-	pos      token.Pos
-	deferred bool
+// lifecycle tracks one protocol object's call sites within a function.
+type lifecycle struct {
+	acquirePos token.Pos // CallExpr position of getArena()/mark()
+	events     map[token.Pos]framework.ProtoEvent
+	releases   int  // non-deferred releases
+	deferred   bool // a deferred release covers every path
+}
+
+func newLifecycle(pos token.Pos, acquireName string) *lifecycle {
+	return &lifecycle{
+		acquirePos: pos,
+		events: map[token.Pos]framework.ProtoEvent{
+			pos: {Kind: framework.ProtoAcquire, Name: acquireName},
+		},
+	}
+}
+
+func (lc *lifecycle) record(pos token.Pos, kind framework.ProtoEventKind, name string, deferredCall bool) {
+	if deferredCall {
+		if kind == framework.ProtoRelease {
+			lc.deferred = true
+		}
+		return // deferred calls run at exit; nothing observable follows them
+	}
+	if kind == framework.ProtoRelease {
+		lc.releases++
+	}
+	lc.events[pos] = framework.ProtoEvent{Kind: kind, Name: name}
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 	defers := framework.CollectDeferRanges(fd.Body)
 
-	arenaGets := make(map[types.Object]token.Pos)  // var := getArena()
-	arenaPuts := make(map[types.Object][]putCall)  // putArena(var)
-	markVars := make(map[types.Object]token.Pos)   // m := ar.mark()
-	released := make(map[types.Object]bool)        // m appeared in release(m)
+	arenas := make(map[types.Object]*lifecycle)    // var := getArena()
+	marks := make(map[types.Object]*lifecycle)     // m := ar.mark()
 	allocVars := make(map[types.Object]token.Pos)  // z := ar.alloc(n)
 	firstAlloc := make(map[types.Object]token.Pos) // arena -> earliest alloc pos
-	var returns []*ast.ReturnStmt
 
 	recordDef := func(lhs ast.Expr, rhs ast.Expr) {
 		id, ok := lhs.(*ast.Ident)
@@ -69,20 +96,21 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 			return
 		}
 		if callee := framework.CalleeIdent(call); callee != nil && callee.Name == "getArena" {
-			arenaGets[obj] = call.Pos()
+			arenas[obj] = newLifecycle(call.Pos(), "getArena")
 			return
 		}
 		if recv := framework.RecvTypeName(pass.Info, call); recv == "arena" {
 			callee := framework.CalleeIdent(call)
 			switch callee.Name {
 			case "mark":
-				markVars[obj] = call.Pos()
+				marks[obj] = newLifecycle(call.Pos(), "mark")
 			case "alloc":
 				allocVars[obj] = call.Pos()
 			}
 		}
 	}
 
+	var returns []*ast.ReturnStmt
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
@@ -94,25 +122,35 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 		case *ast.ReturnStmt:
 			returns = append(returns, n)
 		case *ast.CallExpr:
+			deferredCall := defers.Contains(n.Pos())
 			callee := framework.CalleeIdent(n)
 			if callee == nil {
 				return true
 			}
 			if callee.Name == "putArena" && len(n.Args) == 1 {
 				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
-					if obj := pass.Info.Uses[id]; obj != nil {
-						arenaPuts[obj] = append(arenaPuts[obj], putCall{
-							pos:      n.Pos(),
-							deferred: defers.Contains(n.Pos()),
-						})
+					if lc := arenas[pass.Info.Uses[id]]; lc != nil {
+						lc.record(n.Pos(), framework.ProtoRelease, "putArena", deferredCall)
 					}
 				}
 				return true
 			}
 			if framework.RecvTypeName(pass.Info, n) != "arena" {
+				// A tracked arena passed to a helper is a use (the helper
+				// allocates from the live arena on the caller's behalf).
+				for _, arg := range n.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if lc := arenas[pass.Info.Uses[id]]; lc != nil {
+							lc.record(n.Pos(), framework.ProtoUse, callee.Name, deferredCall)
+						}
+					}
+				}
 				return true
 			}
 			recvObj := framework.ReceiverObject(pass.Info, n)
+			if lc := arenas[recvObj]; lc != nil {
+				lc.record(n.Pos(), framework.ProtoUse, callee.Name, deferredCall)
+			}
 			switch callee.Name {
 			case "alloc":
 				if recvObj != nil {
@@ -135,8 +173,8 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 						return true
 					}
 					obj := pass.Info.Uses[id]
-					if _, isMark := markVars[obj]; isMark {
-						released[obj] = true
+					if lc := marks[obj]; lc != nil {
+						lc.record(n.Pos(), framework.ProtoRelease, "release", deferredCall)
 					} else {
 						pass.Reportf(n.Pos(), "release() argument %q does not come from mark()", id.Name)
 					}
@@ -146,39 +184,14 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 		return true
 	})
 
-	// ensure-after-alloc needs alloc positions before ensure positions; the
-	// Inspect above visits in source order, so firstAlloc is already earliest
-	// — but an ensure that precedes the alloc lexically was handled inline.
+	if len(arenas)+len(marks) > 0 {
+		cfg := framework.NewCFG(fd.Body)
 
-	for obj, getPos := range arenaGets {
-		puts := arenaPuts[obj]
-		if len(puts) == 0 {
-			pass.Reportf(getPos, "arena %q obtained from getArena is never returned with putArena", obj.Name())
-			continue
+		for obj, lc := range arenas {
+			checkLifecycle(pass, cfg, fd, obj, lc, arenaMessages)
 		}
-		firstPut := puts[0]
-		for _, p := range puts[1:] {
-			if p.pos < firstPut.pos {
-				firstPut = p
-			}
-		}
-		anyDeferred := false
-		for _, p := range puts {
-			anyDeferred = anyDeferred || p.deferred
-		}
-		if anyDeferred {
-			continue
-		}
-		for _, ret := range returns {
-			if ret.Pos() > getPos && ret.Pos() < firstPut.pos {
-				pass.Reportf(ret.Pos(), "return leaks arena %q: putArena is not deferred and has not run yet on this path", obj.Name())
-			}
-		}
-	}
-
-	for obj, markPos := range markVars {
-		if !released[obj] {
-			pass.Reportf(markPos, "mark() result %q has no matching release() in this function", obj.Name())
+		for obj, lc := range marks {
+			checkLifecycle(pass, cfg, fd, obj, lc, markMessages)
 		}
 	}
 
@@ -198,6 +211,55 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 				}
 				return true
 			})
+		}
+	}
+}
+
+// lifecycleMessages renders protocol findings for one object family.
+type lifecycleMessages struct {
+	neverReleased string // format: obj name
+	kinds         map[framework.ProtoFindingKind]string
+}
+
+var arenaMessages = lifecycleMessages{
+	neverReleased: "arena %q obtained from getArena is never returned with putArena",
+	kinds: map[framework.ProtoFindingKind]string{
+		framework.LeakReturn:             "return leaks arena %q: putArena is not deferred and has not run yet on this path",
+		framework.LeakReturnPartial:      "return leaks arena %q on some path: putArena does not run on every path reaching this return",
+		framework.LeakExit:               "function exit leaks arena %q: putArena never runs before falling off the end",
+		framework.LeakExitPartial:        "arena %q is not returned with putArena on every path to the function exit",
+		framework.UseAfterRelease:        "use of arena %q after putArena: the slab may already belong to the next renter",
+		framework.UseAfterReleasePartial: "use of arena %q after putArena on some path (a branch or previous loop iteration already returned it)",
+		framework.DoubleRelease:          "arena %q returned twice with putArena: the pool now holds it twice",
+		framework.DoubleReleasePartial:   "arena %q may be returned twice with putArena (a path reaches this putArena with the arena already returned)",
+	},
+}
+
+var markMessages = lifecycleMessages{
+	neverReleased: "mark() result %q has no matching release() in this function",
+	kinds: map[framework.ProtoFindingKind]string{
+		framework.LeakReturn:             "return leaves mark %q unreleased: release() has not run on this path",
+		framework.LeakReturnPartial:      "return leaves mark %q unreleased on some path: release() does not run on every path reaching this return",
+		framework.LeakExit:               "function exit leaves mark %q unreleased",
+		framework.LeakExitPartial:        "mark %q is not released on every path to the function exit",
+		framework.UseAfterRelease:        "",
+		framework.UseAfterReleasePartial: "",
+		framework.DoubleRelease:          "mark %q released twice: the second release() rewinds an arena that may have live allocations",
+		framework.DoubleReleasePartial:   "mark %q may be released twice (a path reaches this release() with the mark already released)",
+	},
+}
+
+func checkLifecycle(pass *framework.Pass, cfg *framework.CFG, fd *ast.FuncDecl, obj types.Object, lc *lifecycle, msgs lifecycleMessages) {
+	if lc.deferred {
+		return // deferred release runs at every exit; nothing can follow it
+	}
+	if lc.releases == 0 {
+		pass.Reportf(lc.acquirePos, msgs.neverReleased, obj.Name())
+		return
+	}
+	for _, f := range framework.CheckProtocol(cfg, lc.events, fd.Body.Rbrace) {
+		if msg := msgs.kinds[f.Kind]; msg != "" {
+			pass.Reportf(f.Pos, msg, obj.Name())
 		}
 	}
 }

@@ -79,6 +79,37 @@ func escape(n int) nat {
 	return z // want "escapes via return"
 }
 
+// branchPut returns the arena only in one branch: the other path leaks.
+// The pre-PR-3 lexical checker saw "a putArena exists" and stayed silent.
+func branchPut(n int) {
+	ar := getArena()
+	_ = ar.alloc(n)
+	if n > 4 {
+		putArena(ar)
+	}
+} // want "not returned with putArena on every path"
+
+// loopPut returns the arena inside the loop body, so the next iteration
+// allocates from a slab that may already belong to another renter.
+func loopPut(ns []int) {
+	ar := getArena()
+	for _, n := range ns {
+		_ = ar.alloc(n) // want "after putArena on some path"
+		putArena(ar)    // want "may be returned twice"
+	}
+} // want "not returned with putArena on every path"
+
+// branchMark releases the mark only when cond holds.
+func branchMark(n int, cond bool) {
+	ar := getArena()
+	defer putArena(ar)
+	m := ar.mark()
+	_ = ar.alloc(n)
+	if cond {
+		ar.release(m)
+	}
+} // want "mark .m. is not released on every path"
+
 // escapeAllowed shows the audited escape hatch.
 func escapeAllowed(n int) nat {
 	ar := getArena()

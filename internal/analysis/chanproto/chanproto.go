@@ -1,0 +1,259 @@
+// Package chanproto checks the message-passing discipline of the machine
+// simulator and its clients (internal/machine, internal/collective,
+// internal/ftparallel):
+//
+//   - every Proc.Send must have a matching receive somewhere in the same
+//     package: a Send whose tag expression never appears in a
+//     Recv/RecvInts/RecvDeadline call produces a message nothing will ever
+//     consume (it sits in the per-pair buffer until the run ends and the
+//     cost model silently under-charges the receive side). Tags are compared
+//     as expression text, so `tag+"/down"` on the send side pairs with
+//     `tag+"/down"` on the receive side and fmt.Sprintf patterns pair with
+//     their textual twins;
+//   - no Proc communication may be reachable after Machine.Run has returned
+//     in the same function — Run tears the machine down, so a later
+//     Send/Recv can never complete. This is a forward dataflow fact over the
+//     function's CFG, so a Run inside one branch taints the code after the
+//     merge (the shutdown *may* have happened);
+//   - the host goroutine must not perform a raw channel send that is not
+//     visibly non-blocking: a bare `ch <- v` outside a select clause, on a
+//     channel not created with a non-zero buffer in the same function, can
+//     deadlock the simulator. Sends inside `go func(){...}` bodies run on
+//     worker goroutines and are exempt.
+//
+// Like the other ftlint analyzers, matching is by name (methods on types
+// named Proc and Machine), so the checks work on the real tree and on
+// import-free fixtures alike.
+package chanproto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "chanproto",
+	Doc:  "check Send/Recv tag pairing, no Proc traffic after Machine.Run, and no blocking raw sends on the host goroutine",
+	Run:  run,
+}
+
+// governed lists the package path segments whose channel traffic follows the
+// simulator protocol.
+var governed = []string{"machine", "collective", "ftparallel"}
+
+// procComm maps Proc method names to the argument index of their tag, for
+// the methods that move messages. The tag is always the second argument.
+var procComm = map[string]bool{
+	"Send":         true,
+	"Recv":         true,
+	"RecvInts":     true,
+	"RecvDeadline": true,
+}
+
+func run(pass *framework.Pass) error {
+	inScope := false
+	for _, seg := range governed {
+		if framework.PathHasSegment(pass.Path, seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	checkTagPairing(pass)
+	framework.FuncDecls(pass.Files, func(fd *ast.FuncDecl) {
+		checkShutdownOrder(pass, fd)
+		checkHostSends(pass, fd)
+	})
+	return nil
+}
+
+// tagText renders a tag argument position-independently, so the same
+// expression on the send and receive side compares equal.
+func tagText(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	return types.ExprString(call.Args[1]), true
+}
+
+// checkTagPairing collects every Proc.Send tag in the package and reports the
+// ones no Recv variant ever names.
+func checkTagPairing(pass *framework.Pass) {
+	type sendSite struct {
+		pos token.Pos
+		tag string
+	}
+	var sends []sendSite
+	recvTags := make(map[string]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || framework.RecvTypeName(pass.Info, call) != "Proc" {
+				return true
+			}
+			callee := framework.CalleeIdent(call)
+			if callee == nil || !procComm[callee.Name] {
+				return true
+			}
+			tag, ok := tagText(call)
+			if !ok {
+				return true
+			}
+			if callee.Name == "Send" {
+				sends = append(sends, sendSite{call.Pos(), tag})
+			} else {
+				recvTags[tag] = true
+			}
+			return true
+		})
+	}
+
+	for _, s := range sends {
+		if !recvTags[s.tag] {
+			pass.Reportf(s.pos, "Proc.Send with tag %s has no matching Recv in package %s: the message can never be consumed", s.tag, pass.Path)
+		}
+	}
+}
+
+// checkShutdownOrder flags Proc communication reachable after a call to
+// Machine.Run has returned in the same function body. FuncLit bodies (the
+// worker closures handed *to* Run) are excluded by the shallow walks.
+func checkShutdownOrder(pass *framework.Pass, fd *ast.FuncDecl) {
+	callsRun := false
+	framework.InspectShallow(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if framework.RecvTypeName(pass.Info, call) == "Machine" {
+				if callee := framework.CalleeIdent(call); callee != nil && callee.Name == "Run" {
+					callsRun = true
+				}
+			}
+		}
+		return true
+	})
+	if !callsRun {
+		return
+	}
+
+	cfg := framework.NewCFG(fd.Body)
+	// walk applies the block's calls in order to the "machine shut down"
+	// fact; when report is true it flags Proc traffic seen while the fact
+	// holds. Checking precedes updating, so `m.Run(...)` itself is clean.
+	walk := func(b *framework.Block, in bool, report bool) bool {
+		down := in
+		for _, node := range b.Nodes {
+			framework.InspectShallow(node, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := framework.CalleeIdent(call)
+				if callee == nil {
+					return true
+				}
+				switch framework.RecvTypeName(pass.Info, call) {
+				case "Proc":
+					if down && report && (procComm[callee.Name] || callee.Name == "Barrier") {
+						pass.Reportf(call.Pos(), "Proc.%s reachable after Machine.Run has returned: the machine is shut down and the call can never complete", callee.Name)
+					}
+				case "Machine":
+					if callee.Name == "Run" {
+						down = true
+					}
+				}
+				return true
+			})
+		}
+		return down
+	}
+
+	res := framework.ForwardSolve(cfg, framework.FlowSpec[bool]{
+		Bottom:   func() bool { return false },
+		Boundary: func() bool { return false },
+		Join:     func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+		Transfer: func(b *framework.Block, in bool) bool { return walk(b, in, false) },
+	})
+	for _, b := range cfg.Blocks {
+		if b == cfg.Entry || len(b.Preds) > 0 {
+			walk(b, res.In[b], true)
+		}
+	}
+}
+
+// checkHostSends flags raw channel sends on the host goroutine that are not
+// visibly non-blocking. Sends inside function literals are exempt: a
+// literal's execution context (worker goroutine, Run closure, deferred
+// callback) is not the host's, and the shallow walks below never enter one.
+func checkHostSends(pass *framework.Pass, fd *ast.FuncDecl) {
+	// Channels made with a non-zero (or non-constant) buffer in this
+	// function are considered safe to send on.
+	buffered := make(map[types.Object]bool)
+	// Sends that are select comm clauses never block the select.
+	inSelect := make(map[*ast.SendStmt]bool)
+
+	framework.InspectShallow(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if callee, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || callee.Name != "make" {
+					continue
+				}
+				if len(call.Args) != 2 {
+					continue // make(chan T): definitely unbuffered
+				}
+				if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+					continue
+				}
+				if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+					continue
+				}
+				if obj := pass.Info.Defs[id]; obj != nil {
+					buffered[obj] = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					inSelect[send] = true
+				}
+			}
+		}
+		return true
+	})
+
+	framework.InspectShallow(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || inSelect[send] {
+			return true
+		}
+		if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok {
+			if buffered[pass.Info.Uses[id]] {
+				return true
+			}
+		}
+		pass.Reportf(send.Pos(), "unbuffered channel send from the host goroutine can block the simulator: use a select with default, a buffered channel, or send from a worker goroutine")
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package chanproto_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chanproto"
+)
+
+func TestChanProto(t *testing.T) {
+	analysistest.Run(t, chanproto.Analyzer, "machine")
+}

@@ -1,0 +1,93 @@
+package framework
+
+// dataflow.go is the generic iterative fixpoint engine over the CFG of
+// cfg.go. A FlowSpec describes one monotone dataflow problem: a join
+// semilattice of facts (Bottom, Join, Equal) and a block transfer function.
+// ForwardSolve propagates facts along edges from Entry, BackwardSolve
+// against edges from Exit; both iterate a worklist until nothing changes,
+// which terminates for any finite lattice with a monotone transfer.
+//
+// Unreachable blocks keep the Bottom fact, so analyzers can (and should)
+// skip reporting in blocks whose input fact is Bottom — dead code has no
+// executions to diagnose.
+
+// FlowSpec describes one dataflow problem over facts of type F.
+type FlowSpec[F any] struct {
+	// Bottom is the identity of Join: the fact of an unreached block.
+	Bottom func() F
+	// Boundary is the fact entering the graph: at Entry for a forward
+	// problem, at Exit for a backward one.
+	Boundary func() F
+	// Join combines facts along merging paths (must be commutative,
+	// associative, idempotent, with Bottom as identity).
+	Join func(a, b F) F
+	// Equal detects the fixpoint.
+	Equal func(a, b F) bool
+	// Transfer computes the fact after executing block b given the fact
+	// before it (for a backward problem: the fact before b given the fact
+	// after it). It must be pure — report findings in a separate pass.
+	Transfer func(b *Block, in F) F
+}
+
+// FlowResult holds the per-block fixpoint facts. For a forward problem In is
+// the fact at block entry and Out at block exit; for a backward problem In
+// is the fact *after* the block and Out the fact *before* it (i.e. Out =
+// Transfer(b, In) in both directions).
+type FlowResult[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// ForwardSolve computes the forward fixpoint of spec over g.
+func ForwardSolve[F any](g *CFG, spec FlowSpec[F]) *FlowResult[F] {
+	return solve(g, spec, g.Entry, func(b *Block) []*Block { return b.Preds }, func(b *Block) []*Block { return b.Succs })
+}
+
+// BackwardSolve computes the backward fixpoint of spec over g.
+func BackwardSolve[F any](g *CFG, spec FlowSpec[F]) *FlowResult[F] {
+	return solve(g, spec, g.Exit, func(b *Block) []*Block { return b.Succs }, func(b *Block) []*Block { return b.Preds })
+}
+
+func solve[F any](g *CFG, spec FlowSpec[F], boundary *Block, sources, sinks func(*Block) []*Block) *FlowResult[F] {
+	res := &FlowResult[F]{In: make(map[*Block]F, len(g.Blocks)), Out: make(map[*Block]F, len(g.Blocks))}
+	for _, b := range g.Blocks {
+		res.In[b] = spec.Bottom()
+		res.Out[b] = spec.Bottom()
+	}
+
+	queued := make([]bool, len(g.Blocks))
+	var work []*Block
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		in := spec.Bottom()
+		if b == boundary {
+			in = spec.Boundary()
+		}
+		for _, p := range sources(b) {
+			in = spec.Join(in, res.Out[p])
+		}
+		out := spec.Transfer(b, in)
+		if spec.Equal(in, res.In[b]) && spec.Equal(out, res.Out[b]) {
+			continue
+		}
+		res.In[b] = in
+		res.Out[b] = out
+		for _, s := range sinks(b) {
+			push(s)
+		}
+	}
+	return res
+}

@@ -13,6 +13,12 @@
 // the doc comment of the enclosing function declaration. The rationale text
 // is free-form but expected — the escape hatch exists to make exceptions
 // auditable, not silent.
+//
+// RunAll audits the escape hatches themselves: an allow that names an
+// analyzer not in the run set, or that suppresses no finding of any
+// analyzer that did run, is reported as an "allowaudit" finding. Stale
+// allows are how suppressed invariants quietly rot — the comment outlives
+// the exception it documented. Audit findings are not suppressible.
 package framework
 
 import (
@@ -71,8 +77,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies one analyzer to one package and returns its findings with
-// //ftlint:allow suppressions already applied, sorted by position.
+// //ftlint:allow suppressions already applied, sorted by position. Single-
+// analyzer runs do not audit the allow comments (an allow aimed at another
+// analyzer would always look unknown or stale); use RunAll for that.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return runFiltered(a, pkg, buildAllowIndex(pkg))
+}
+
+func runFiltered(a *Analyzer, pkg *Package, allowed *allowIndex) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Path:     pkg.Path,
@@ -84,15 +96,19 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	allowed := buildAllowIndex(pkg)
 	var out []Diagnostic
 	for _, d := range pass.diags {
 		if !allowed.suppresses(a.Name, d) {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := out[i].Position, out[j].Position
+	sortDiags(out)
+	return out, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi, pj := ds[i].Position, ds[j].Position
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -101,88 +117,121 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		}
 		return pi.Column < pj.Column
 	})
-	return out, nil
 }
 
-// RunAll applies every analyzer to every package.
+// RunAll applies every analyzer to every package, sharing one suppression
+// index per package so that afterwards the allow comments themselves can be
+// audited: every allow must name a known analyzer and suppress at least one
+// finding of the full run.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
+		idx := buildAllowIndex(pkg)
 		for _, a := range analyzers {
-			ds, err := Run(a, pkg)
+			ds, err := runFiltered(a, pkg, idx)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, ds...)
 		}
+		out = append(out, idx.audit(known)...)
 	}
 	return out, nil
 }
 
+// allowEntry is one analyzer name in one //ftlint:allow comment. Entries
+// track whether they ever suppressed a finding, so RunAll can report the
+// stale ones.
+type allowEntry struct {
+	name     string
+	pos      token.Pos
+	position token.Position // of the allow comment
+	used     bool
+}
+
 // allowIndex records where //ftlint:allow comments take effect.
 type allowIndex struct {
-	// lines maps file -> line -> analyzer names allowed at that line (the
+	// lines maps file -> line -> entries allowed at that line (the
 	// comment's own line; a diagnostic on that line or the next is covered).
-	lines map[string]map[int]map[string]bool
+	lines map[string]map[int][]*allowEntry
 	// funcRanges lists function bodies whose doc comment carries an allow:
 	// every diagnostic inside is covered.
 	funcRanges []allowRange
-	fset       *token.FileSet
+	// entries holds every entry once, in source order, for the audit.
+	entries []*allowEntry
+	fset    *token.FileSet
 }
 
 type allowRange struct {
 	file       string
 	start, end int // line range, inclusive
-	names      map[string]bool
+	entries    []*allowEntry
 }
 
 func buildAllowIndex(pkg *Package) *allowIndex {
-	idx := &allowIndex{lines: make(map[string]map[int]map[string]bool), fset: pkg.Fset}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := parseAllow(c.Text)
-				if len(names) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := idx.lines[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					idx.lines[pos.Filename] = byLine
-				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					byLine[pos.Line] = set
-				}
-				for _, n := range names {
-					set[n] = true
-				}
-			}
+	idx := &allowIndex{lines: make(map[string]map[int][]*allowEntry), fset: pkg.Fset}
+
+	newEntries := func(c *ast.Comment) []*allowEntry {
+		var es []*allowEntry
+		for _, n := range parseAllow(c.Text) {
+			e := &allowEntry{name: n, pos: c.Pos(), position: pkg.Fset.Position(c.Pos())}
+			es = append(es, e)
+			idx.entries = append(idx.entries, e)
 		}
+		return es
+	}
+
+	for _, f := range pkg.Files {
+		// Function-doc allows cover the whole body. Their comments are
+		// indexed here only, not in the line pass below: a second, line-
+		// anchored entry for the same comment would never suppress anything
+		// and show up as a false stale.
+		inFuncDoc := make(map[*ast.Comment]bool)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil || fd.Body == nil {
 				continue
 			}
-			names := make(map[string]bool)
+			var es []*allowEntry
 			for _, c := range fd.Doc.List {
-				for _, n := range parseAllow(c.Text) {
-					names[n] = true
+				if ne := newEntries(c); len(ne) > 0 {
+					es = append(es, ne...)
+					inFuncDoc[c] = true
 				}
 			}
-			if len(names) == 0 {
+			if len(es) == 0 {
 				continue
 			}
 			start := pkg.Fset.Position(fd.Pos())
 			end := pkg.Fset.Position(fd.End())
 			idx.funcRanges = append(idx.funcRanges, allowRange{
-				file:  start.Filename,
-				start: start.Line,
-				end:   end.Line,
-				names: names,
+				file:    start.Filename,
+				start:   start.Line,
+				end:     end.Line,
+				entries: es,
 			})
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if inFuncDoc[c] {
+					continue
+				}
+				es := newEntries(c)
+				if len(es) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*allowEntry)
+					idx.lines[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], es...)
+			}
 		}
 	}
 	return idx
@@ -210,21 +259,57 @@ func parseAllow(text string) []string {
 	return names
 }
 
+// suppresses reports whether an allow covers d, marking every covering
+// entry as used so the audit can tell live allows from stale ones.
 func (idx *allowIndex) suppresses(name string, d Diagnostic) bool {
+	matched := false
 	pos := d.Position
 	if byLine := idx.lines[pos.Filename]; byLine != nil {
 		for _, line := range []int{pos.Line, pos.Line - 1} {
-			if set := byLine[line]; set != nil && set[name] {
-				return true
+			for _, e := range byLine[line] {
+				if e.name == name {
+					e.used = true
+					matched = true
+				}
 			}
 		}
 	}
 	for _, r := range idx.funcRanges {
-		if r.file == pos.Filename && pos.Line >= r.start && pos.Line <= r.end && r.names[name] {
-			return true
+		if r.file != pos.Filename || pos.Line < r.start || pos.Line > r.end {
+			continue
+		}
+		for _, e := range r.entries {
+			if e.name == name {
+				e.used = true
+				matched = true
+			}
 		}
 	}
-	return false
+	return matched
+}
+
+// audit reports allow entries that name an analyzer outside the run set and
+// entries that suppressed nothing across the whole run.
+func (idx *allowIndex) audit(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(e *allowEntry, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Position: e.position,
+			Analyzer: "allowaudit",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, e := range idx.entries {
+		switch {
+		case !known[e.name]:
+			report(e, "ftlint:allow names unknown analyzer %q: the suppression can never take effect (typo, or the analyzer was removed)", e.name)
+		case !e.used:
+			report(e, "stale ftlint:allow for %q: it suppresses no finding — remove it, or the exception it documents has silently widened", e.name)
+		}
+	}
+	sortDiags(out)
+	return out
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult.

@@ -1,8 +1,15 @@
 package framework_test
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/analysis/accown"
 	"repro/internal/analysis/arenasafe"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/natalias"
@@ -27,6 +34,64 @@ func TestLoadAndRun(t *testing.T) {
 		for _, d := range diags {
 			t.Errorf("%s: unexpected finding in clean package: %s: %s", a.Name, d.Position, d.Message)
 		}
+	}
+}
+
+// loadStaleFixture type-checks the allow-audit fixture by hand (it is not a
+// listable package, so the go list loader does not apply).
+func loadStaleFixture(t *testing.T) *framework.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "src", "stale", "stale.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := framework.NewInfo()
+	tpkg, err := (&types.Config{}).Check("stale", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return &framework.Package{Path: "stale", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// TestAllowAudit: RunAll must flag the stale allow and the unknown-analyzer
+// allow, and leave the two live allows (line-anchored and func-doc) alone.
+func TestAllowAudit(t *testing.T) {
+	pkg := loadStaleFixture(t)
+	diags, err := framework.RunAll([]*framework.Analyzer{accown.Analyzer}, []*framework.Package{pkg})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	var stale, unknown int
+	for _, d := range diags {
+		if d.Analyzer != "allowaudit" {
+			t.Errorf("non-audit finding leaked through a live allow: %s: %s", d.Position, d.Message)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "unknown analyzer \"acccown\""):
+			unknown++
+		case strings.Contains(d.Message, "stale ftlint:allow for \"accown\""):
+			stale++
+		default:
+			t.Errorf("unexpected audit finding: %s: %s", d.Position, d.Message)
+		}
+	}
+	if unknown != 1 || stale != 1 {
+		t.Errorf("audit found %d unknown-analyzer and %d stale allows, want 1 and 1", unknown, stale)
+	}
+}
+
+// TestSingleRunSkipsAudit: framework.Run must not audit (an allow aimed at
+// an analyzer outside a single-analyzer run is not evidence of staleness).
+func TestSingleRunSkipsAudit(t *testing.T) {
+	pkg := loadStaleFixture(t)
+	diags, err := framework.Run(accown.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding from single-analyzer run: %s: %s", d.Position, d.Message)
 	}
 }
 

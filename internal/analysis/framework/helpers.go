@@ -132,6 +132,24 @@ func PathHasSegment(path, seg string) bool {
 	return false
 }
 
+// InspectShallow walks the AST rooted at n like ast.Inspect but does not
+// descend into function literals: a closure's body executes when the closure
+// is *called*, not where it is written, so flow-sensitive analyzers walking
+// CFG block nodes must not attribute its effects to the enclosing function's
+// program point. The literal node itself is still visited.
+func InspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			f(m)
+			return false
+		}
+		return f(m)
+	})
+}
+
 // FuncDecls calls fn for every function declaration with a body.
 func FuncDecls(files []*ast.File, fn func(*ast.FuncDecl)) {
 	for _, f := range files {

@@ -45,7 +45,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
+	return loadList(out)
+}
 
+// loadList turns raw `go list -e -export -deps -json` output into parsed,
+// type-checked packages. Split from Load so the decoding and type-checking
+// error paths are testable without a real toolchain invocation.
+func loadList(out []byte) ([]*Package, error) {
 	exports := make(map[string]string)
 	var targets []listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))

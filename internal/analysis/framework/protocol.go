@@ -1,0 +1,174 @@
+package framework
+
+// protocol.go is the shared acquire/release lifecycle checker built on the
+// CFG and the dataflow solver. arenasafe (getArena/putArena, mark/release)
+// and accown (NewAcc/Release) enforce the same shape of protocol: an object
+// acquired at one call site must be released on every path out of the
+// function, must not be used after its release, and must not be released
+// twice. The checker runs one forward powerset-lattice analysis per object:
+// the fact is the set of lifecycle states the object may be in at a program
+// point, so "released on one branch only" shows up as {Live, Released} at
+// the merge and a loop back edge carries {Released} into the next
+// iteration's uses.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObjState is a set of lifecycle states (a powerset lattice element; join is
+// set union).
+type ObjState uint8
+
+const (
+	// StateNotYet: execution has not passed the acquire site (also the state
+	// after a scope ends, e.g. a per-iteration acquire before its redefinition).
+	StateNotYet ObjState = 1 << iota
+	// StateLive: acquired and not yet released — the object owes a release.
+	StateLive
+	// StateReleased: released; further uses and releases are protocol errors.
+	StateReleased
+)
+
+// ProtoEventKind classifies how a call site affects the tracked object.
+type ProtoEventKind int
+
+const (
+	// ProtoAcquire (re)initializes the object: NewAcc(), getArena(), mark().
+	ProtoAcquire ProtoEventKind = iota
+	// ProtoRelease ends the obligation: Release(), putArena(), release(m).
+	ProtoRelease
+	// ProtoUse is any other operation that requires the object to be live.
+	ProtoUse
+)
+
+// ProtoEvent is one call site affecting the tracked object, keyed by the
+// CallExpr's position (see CheckProtocol).
+type ProtoEvent struct {
+	Kind ProtoEventKind
+	Name string // call name, echoed in findings
+}
+
+// ProtoFindingKind classifies a protocol violation. "Partial" means the
+// violation happens on some but not all executions reaching the point (a
+// branch or loop iteration); the non-partial variants hold on every path.
+type ProtoFindingKind int
+
+const (
+	// LeakReturn: a return statement executes while the object is live.
+	LeakReturn ProtoFindingKind = iota
+	LeakReturnPartial
+	// LeakExit: control falls off the end of the function while the object
+	// is (or may be) live.
+	LeakExit
+	LeakExitPartial
+	// UseAfterRelease: a ProtoUse runs with the object already released.
+	UseAfterRelease
+	UseAfterReleasePartial
+	// DoubleRelease: a ProtoRelease runs with the object already released.
+	DoubleRelease
+	DoubleReleasePartial
+)
+
+// ProtoFinding is one protocol violation for the checked object.
+type ProtoFinding struct {
+	Pos  token.Pos
+	Kind ProtoFindingKind
+	Name string // the offending call's name ("" for leak findings)
+}
+
+// CheckProtocol runs the lifecycle analysis for one object over a function
+// CFG. events maps CallExpr positions to their effect on the object; only
+// *ast.CallExpr nodes are consulted, so positions shared with enclosing
+// expressions are unambiguous. exitPos is where fall-off-the-end leaks are
+// reported (the body's closing brace). Deferred calls must not appear in
+// events — a deferred release covers every path by construction, so callers
+// exempt such objects before invoking the checker.
+func CheckProtocol(g *CFG, events map[token.Pos]ProtoEvent, exitPos token.Pos) []ProtoFinding {
+	spec := FlowSpec[ObjState]{
+		Bottom:   func() ObjState { return 0 },
+		Boundary: func() ObjState { return StateNotYet },
+		Join:     func(a, b ObjState) ObjState { return a | b },
+		Equal:    func(a, b ObjState) bool { return a == b },
+		Transfer: func(b *Block, in ObjState) ObjState {
+			return walkProtocol(b, in, events, nil)
+		},
+	}
+	res := ForwardSolve(g, spec)
+
+	var findings []ProtoFinding
+	report := func(f ProtoFinding) { findings = append(findings, f) }
+	for _, b := range g.Blocks {
+		if res.In[b] == 0 {
+			continue // unreachable: nothing executes here
+		}
+		walkProtocol(b, res.In[b], events, report)
+	}
+
+	// Fall-off-the-end: join the out-states of Exit predecessors that do not
+	// end in a return (returns were diagnosed at their own statements).
+	var fallOff ObjState
+	for _, p := range g.Exit.Preds {
+		if p.ReturnStmt() == nil {
+			fallOff |= res.Out[p]
+		}
+	}
+	if fallOff&StateLive != 0 {
+		kind := LeakExitPartial
+		if fallOff == StateLive {
+			kind = LeakExit
+		}
+		report(ProtoFinding{Pos: exitPos, Kind: kind})
+	}
+	return findings
+}
+
+// walkProtocol applies the block's events to st in execution order; with a
+// non-nil report callback it also emits findings (the post-fixpoint
+// diagnosis pass reuses the exact transfer the solver ran).
+func walkProtocol(b *Block, st ObjState, events map[token.Pos]ProtoEvent, report func(ProtoFinding)) ObjState {
+	for _, n := range b.Nodes {
+		InspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ev, ok := events[call.Pos()]
+			if !ok {
+				return true
+			}
+			switch ev.Kind {
+			case ProtoAcquire:
+				st = StateLive
+			case ProtoRelease:
+				if report != nil && st&StateReleased != 0 {
+					kind := DoubleReleasePartial
+					if st == StateReleased {
+						kind = DoubleRelease
+					}
+					report(ProtoFinding{Pos: call.Pos(), Kind: kind, Name: ev.Name})
+				}
+				st = StateReleased
+			case ProtoUse:
+				if report != nil && st&StateReleased != 0 {
+					kind := UseAfterReleasePartial
+					if st == StateReleased {
+						kind = UseAfterRelease
+					}
+					report(ProtoFinding{Pos: call.Pos(), Kind: kind, Name: ev.Name})
+				}
+			}
+			return true
+		})
+		// The return's result expressions evaluate above; only then does the
+		// statement leave the function with whatever is still live.
+		if ret, ok := n.(*ast.ReturnStmt); ok && report != nil && st&StateLive != 0 {
+			kind := LeakReturnPartial
+			if st == StateLive {
+				kind = LeakReturn
+			}
+			report(ProtoFinding{Pos: ret.Pos(), Kind: kind})
+		}
+	}
+	return st
+}

@@ -1,0 +1,12 @@
+package statsrace_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statsrace"
+)
+
+func TestStatsRace(t *testing.T) {
+	analysistest.Run(t, statsrace.Analyzer, "toom")
+}
