@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson fuzz lint fuzz-smoke ci
+.PHONY: build test race vet bench benchjson fuzz lint lint-json fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,20 @@ build:
 test:
 	$(GO) test ./...
 
-# Machine-checked invariants: the seven ftlint analyzers (arenasafe, accown,
-# poolspawn, natalias, costcharge, chanproto, statsrace) plus the stale-
-# suppression audit, over the whole tree — including internal/analysis
-# itself. See DESIGN.md "Machine-checked invariants". Fixture packages under
-# testdata are not go-list packages, so ./... never analyzes them.
+# Machine-checked invariants: the eight ftlint analyzers (arenasafe, accown,
+# poolspawn, natalias, costcharge, chanproto, statsrace, recoverpath) plus
+# the stale-suppression audit, over the whole tree — including
+# internal/analysis itself. See DESIGN.md "Machine-checked invariants".
+# Fixture packages under testdata are not go-list packages, so ./... never
+# analyzes them.
 lint:
 	$(GO) run ./cmd/ftlint ./...
+
+# Same run, machine-readable: {"findings": [...], "suppressed": [...]} on
+# stdout (recipe is @-silenced so `make lint-json > report.json` stays pure
+# JSON). CI uploads this as the ftlint-report artifact.
+lint-json:
+	@$(GO) run ./cmd/ftlint -json ./...
 
 # Full-tree race detector pass (~2 minutes; the crosscheck and ftparallel
 # simulations dominate). Fixtures under testdata are not packages, so ./...

@@ -1,0 +1,22 @@
+// Package clean carries exactly one finding — an accumulator leak — that a
+// live //ftlint:allow suppresses. ftlint must exit 0 on it, and -json must
+// list the finding under "suppressed" with the allow's file:line.
+package clean
+
+type Int struct{ v int }
+
+type Acc struct{ v int }
+
+func NewAcc() *Acc       { return new(Acc) }
+func (a *Acc) Release()  {}
+func (a *Acc) Add(x Int) {}
+func (a *Acc) Take() Int { return Int{} }
+
+func sum(xs []Int) Int {
+	//ftlint:allow accown leak kept on purpose: the CLI test needs a suppressed finding
+	acc := NewAcc()
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Take()
+}

@@ -10,18 +10,29 @@
 //     uses that only happen on the *next* loop iteration after a release in
 //     the loop body;
 //   - Release must run at most once per acquisition — a double Release
-//     corrupts the pool.
+//     corrupts the pool, including the release a still-armed `defer
+//     acc.Release()` will run at exit after an explicit Release already ran.
 //
 // Since PR 3 the checks are flow-sensitive: each Acc's lifecycle runs
 // through the framework's CFG + dataflow protocol checker (see
 // framework/protocol.go), so branch-only releases and loop-carried
 // released states are real fixpoint facts, not lexical approximations.
 //
+// Since PR 4 the checks are also interprocedural: an Acc passed to another
+// declared function is classified through that callee's summary
+// (framework/summary.go) — a helper that releases it on every path counts
+// as the release, a helper that only uses it leaves the obligation with the
+// caller, and only helpers that store it (or code without a summary)
+// transfer ownership and end local tracking. Deferred releases are modeled
+// as armed protocol states rather than exempting the object, so a deferred
+// release in one branch covers only the paths that execute it, and an Acc
+// captured by a non-deferred closure escapes.
+//
 // Take() hands off the accumulated *value* (the Acc stays usable and still
-// owes a Release); an Acc that is passed to another function, stored, or
-// returned transfers ownership and is exempted from the local checks.
-// Matching is by name (NewAcc, methods on a type named "Acc"), so the
-// analyzer covers both the real tree and import-free fixtures.
+// owes a Release); an Acc that is returned or stored transfers ownership
+// and is exempted from the local checks. Matching is by name (NewAcc,
+// methods on a type named "Acc"), so the analyzer covers both the real tree
+// and import-free fixtures.
 package accown
 
 import (
@@ -34,7 +45,7 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "accown",
-	Doc:  "check that every NewAcc reaches Release on all paths (flow-sensitive) and that no Acc is used after Release",
+	Doc:  "check that every NewAcc reaches Release on all paths (flow-sensitive, through helper calls) and that no Acc is used after Release",
 	Run:  run,
 }
 
@@ -45,18 +56,41 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-type methodUse struct {
-	name     string
-	pos      token.Pos
-	deferred bool
+// accState is the event stream being assembled for one NewAcc acquisition.
+type accState struct {
+	newPos     token.Pos
+	events     map[token.Pos]framework.ProtoEvent
+	escaped    bool
+	hasRelease bool // some release exists (explicit, deferred, or via helper)
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 	defers := framework.CollectDeferRanges(fd.Body)
+	closures := framework.CollectBareClosures(fd.Body)
 
-	accVars := make(map[types.Object]token.Pos) // acc := NewAcc() (CallExpr pos)
-	uses := make(map[types.Object][]methodUse)  // method calls on acc
-	escaped := make(map[types.Object]bool)      // acc handed off (arg/return/assign)
+	accs := make(map[types.Object]*accState)
+
+	// place routes one release/use of a tracked Acc into its event stream,
+	// applying the defer and closure rules: a deferred release arms the
+	// protocol at its registration point, a deferred use runs after every
+	// observable point, and a bare closure ends tracking.
+	place := func(st *accState, pos token.Pos, kind framework.ProtoEventKind, name string) {
+		anchor, deferred := defers.CallAt(pos)
+		switch {
+		case kind == framework.ProtoRelease && deferred:
+			st.events[anchor] = framework.ProtoEvent{Kind: framework.ProtoDeferRelease, Name: name}
+			st.hasRelease = true
+		case deferred:
+			// Deferred use: runs at exit, nothing observable follows it.
+		case closures.Contains(pos):
+			st.escaped = true
+		case kind == framework.ProtoRelease:
+			st.events[pos] = framework.ProtoEvent{Kind: framework.ProtoRelease, Name: name}
+			st.hasRelease = true
+		default:
+			st.events[pos] = framework.ProtoEvent{Kind: framework.ProtoUse, Name: name}
+		}
+	}
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -73,7 +107,12 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 					}
 					if callee := framework.CalleeIdent(call); callee != nil && callee.Name == "NewAcc" {
 						if obj := pass.Info.Defs[id]; obj != nil {
-							accVars[obj] = call.Pos()
+							accs[obj] = &accState{
+								newPos: call.Pos(),
+								events: map[token.Pos]framework.ProtoEvent{
+									call.Pos(): {Kind: framework.ProtoAcquire, Name: "NewAcc"},
+								},
+							}
 						}
 					}
 				}
@@ -82,78 +121,82 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 			// An Acc returned escapes local ownership.
 			for _, expr := range n.Results {
 				if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
-					if obj := pass.Info.Uses[id]; obj != nil {
-						escaped[obj] = true
+					if st := accs[pass.Info.Uses[id]]; st != nil {
+						st.escaped = true
 					}
 				}
 			}
 		case *ast.CallExpr:
-			// Method call on a tracked Acc variable?
+			// Method call on a tracked Acc variable.
 			if framework.RecvTypeName(pass.Info, n) == "Acc" {
-				if obj := framework.ReceiverObject(pass.Info, n); obj != nil {
+				if st := accs[framework.ReceiverObject(pass.Info, n)]; st != nil {
 					if callee := framework.CalleeIdent(n); callee != nil {
-						uses[obj] = append(uses[obj], methodUse{
-							name:     callee.Name,
-							pos:      n.Pos(),
-							deferred: defers.Contains(n.Pos()),
-						})
+						kind := framework.ProtoUse
+						if callee.Name == "Release" {
+							kind = framework.ProtoRelease
+						}
+						place(st, n.Pos(), kind, callee.Name)
 					}
 				}
 			}
-			// An Acc passed as a plain argument transfers ownership.
-			for _, arg := range n.Args {
-				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
-					if obj := pass.Info.Uses[id]; obj != nil {
-						escaped[obj] = true
-					}
+			// An Acc passed as a plain argument: consult the callee's summary
+			// instead of assuming an ownership transfer.
+			for i, arg := range n.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				st := accs[pass.Info.Uses[id]]
+				if st == nil {
+					continue
+				}
+				name := "call"
+				if callee := framework.CalleeIdent(n); callee != nil {
+					name = callee.Name
+				}
+				switch pass.Summaries.ArgEffect(pass.Info, n, i) {
+				case framework.ArgRelease:
+					place(st, n.Pos(), framework.ProtoRelease, name)
+				case framework.ArgUse:
+					place(st, n.Pos(), framework.ProtoUse, name)
+				default:
+					st.escaped = true
 				}
 			}
+		case *ast.FuncLit:
+			// A bare closure capturing the Acc may run at any time (or
+			// never): any reference inside ends local tracking. Deferred
+			// closures are handled by the defer rules in place().
+			if !closures.Contains(n.Pos()) {
+				return true
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if st := accs[pass.Info.Uses[id]]; st != nil {
+						st.escaped = true
+					}
+				}
+				return true
+			})
 		}
 		return true
 	})
 
-	if len(accVars) == 0 {
+	if len(accs) == 0 {
 		return
 	}
 	cfg := framework.NewCFG(fd.Body)
 
-	for obj, newPos := range accVars {
-		if escaped[obj] {
+	for obj, st := range accs {
+		if st.escaped {
 			continue // ownership handed off; the new owner is responsible
 		}
-		releases, deferredRelease := 0, false
-		for _, u := range uses[obj] {
-			if u.name == "Release" {
-				if u.deferred {
-					deferredRelease = true
-				} else {
-					releases++
-				}
-			}
-		}
-		if deferredRelease {
-			continue // runs at function exit: covers every path, nothing can follow it
-		}
-		if releases == 0 {
-			pass.Reportf(newPos, "Acc %q from NewAcc is never released back to the pool (add `defer %s.Release()`)", obj.Name(), obj.Name())
+		if !st.hasRelease {
+			pass.Reportf(st.newPos, "Acc %q from NewAcc is never released back to the pool (add `defer %s.Release()`)", obj.Name(), obj.Name())
 			continue
 		}
 
-		events := map[token.Pos]framework.ProtoEvent{
-			newPos: {Kind: framework.ProtoAcquire, Name: "NewAcc"},
-		}
-		for _, u := range uses[obj] {
-			if u.deferred {
-				continue // runs at exit; nothing observable follows it
-			}
-			kind := framework.ProtoUse
-			if u.name == "Release" {
-				kind = framework.ProtoRelease
-			}
-			events[u.pos] = framework.ProtoEvent{Kind: kind, Name: u.name}
-		}
-
-		for _, f := range framework.CheckProtocol(cfg, events, fd.Body.Rbrace) {
+		for _, f := range framework.CheckProtocol(cfg, st.events, fd.Body.Rbrace) {
 			switch f.Kind {
 			case framework.LeakReturn:
 				pass.Reportf(f.Pos, "return leaks Acc %q: Release is not deferred and has not run yet on this path", obj.Name())
@@ -171,6 +214,10 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 				pass.Reportf(f.Pos, "Acc %q released twice: the second Release corrupts the pool", obj.Name())
 			case framework.DoubleReleasePartial:
 				pass.Reportf(f.Pos, "Acc %q may be released twice (a path reaches this Release with the Acc already released)", obj.Name())
+			case framework.DeferDoubleRelease:
+				pass.Reportf(f.Pos, "Acc %q exits already released with `defer Release` still armed: the defer releases it a second time", obj.Name())
+			case framework.DeferDoubleReleasePartial:
+				pass.Reportf(f.Pos, "Acc %q may exit already released with `defer Release` still armed (some path releases it explicitly before the defer fires)", obj.Name())
 			}
 		}
 	}

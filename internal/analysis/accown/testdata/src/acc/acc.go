@@ -68,7 +68,9 @@ func doubleRelease(x Int) {
 	acc.Release() // want "released twice"
 }
 
-// handoff transfers ownership to a callee; the local checks stand down.
+// handoff passes the Acc to a helper whose summary proves it releases on
+// every path — the release-via-helper counts as the release, verified
+// rather than assumed (pre-PR-4 the analyzer stood down on any handoff).
 func handoff(x Int) {
 	acc := NewAcc()
 	acc.Add(x)
@@ -78,6 +80,95 @@ func handoff(x Int) {
 func finish(a *Acc) {
 	defer a.Release()
 	_ = a.Take()
+}
+
+// helperUseLeak is the shape the intraprocedural analyzer provably could
+// not catch: the helper's summary shows it only *uses* the Acc, so the
+// caller still owes the release — and never pays it.
+func helperUseLeak(x Int) {
+	acc := NewAcc() // want "never released back to the pool"
+	accumulate(acc, x)
+}
+
+func accumulate(a *Acc, x Int) {
+	a.Add(x)
+	a.AddMul(x, 2)
+}
+
+// helperUseThenRelease: a use-only helper followed by the caller's own
+// release is the correct split of responsibilities.
+func helperUseThenRelease(x Int) Int {
+	acc := NewAcc()
+	accumulate(acc, x)
+	v := acc.Take()
+	acc.Release()
+	return v
+}
+
+// helperMaybeRelease hands the Acc to a helper that releases it only on
+// some paths: nothing can be proven either way, so tracking stands down.
+func helperMaybeRelease(x Int, cond bool) {
+	acc := NewAcc()
+	acc.Add(x)
+	maybeFinish(acc, cond)
+}
+
+func maybeFinish(a *Acc, cond bool) {
+	if cond {
+		a.Release()
+	}
+}
+
+// helperEscape hands the Acc to a helper that stores it; ownership
+// genuinely transfers and the local checks stand down.
+func helperEscape(x Int) {
+	acc := NewAcc()
+	acc.Add(x)
+	stash(acc)
+}
+
+var stashed *Acc
+
+func stash(a *Acc) { stashed = a }
+
+// deferThenExplicit releases explicitly while `defer Release` is still
+// armed: the defer fires a second time at exit (pre-PR-4 any deferred
+// Release made the analyzer stand down entirely).
+func deferThenExplicit(x Int) {
+	acc := NewAcc()
+	defer acc.Release()
+	acc.Add(x)
+	acc.Release()
+} // want "defer releases it a second time"
+
+// conditionalDefer arms the release in one branch only; the other path
+// falls off the end still live.
+func conditionalDefer(x Int, cond bool) {
+	acc := NewAcc()
+	if cond {
+		defer acc.Release()
+	}
+	acc.Add(x)
+} // want "not released on every path"
+
+// deferredClosureRelease releases through a deferred closure; the armed
+// state is anchored at the defer and covers every exit.
+func deferredClosureRelease(x Int) Int {
+	acc := NewAcc()
+	defer func() {
+		acc.Release()
+	}()
+	acc.Add(x)
+	return acc.Take()
+}
+
+// closureCapture hands the Acc to a non-deferred closure: it may run at
+// any time (or never), so local tracking ends — no finding, even though
+// no release is visible on the straight-line path.
+func closureCapture(x Int) func() {
+	acc := NewAcc()
+	acc.Add(x)
+	return func() { acc.Release() }
 }
 
 // branchLeak releases only when cond holds; the fall-through path leaks.

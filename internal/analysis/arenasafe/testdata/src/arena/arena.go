@@ -110,6 +110,106 @@ func branchMark(n int, cond bool) {
 	}
 } // want "mark .m. is not released on every path"
 
+// putViaHelper returns the arena through a helper whose summary proves it
+// calls putArena on every path — the release-via-helper counts as the
+// release (pre-PR-4 the analyzer recorded a plain use and reported a leak
+// it could not prove either way).
+func putViaHelper(n int) {
+	ar := getArena()
+	_ = ar.alloc(n)
+	finish(ar)
+}
+
+func finish(a *arena) { putArena(a) }
+
+// helperUseLeak is the shape the intraprocedural analyzer provably could
+// not catch: the helper's summary shows it only allocates from the arena,
+// so the caller still owes the putArena — and never pays it.
+func helperUseLeak(n int) {
+	ar := getArena() // want "never returned with putArena"
+	scratch(ar, n)
+}
+
+func scratch(a *arena, n int) { _ = a.alloc(n) }
+
+// helperThenPut splits the work correctly: the helper allocates, the
+// caller returns the arena.
+func helperThenPut(n int) {
+	ar := getArena()
+	scratch(ar, n)
+	putArena(ar)
+}
+
+// helperAfterPut uses the arena through a helper after it was returned:
+// the summary proves the helper touches the slab.
+func helperAfterPut(n int) {
+	ar := getArena()
+	putArena(ar)
+	scratch(ar, n) // want "after putArena"
+}
+
+// helperMaybePut hands the arena to a helper that returns it only on some
+// paths: nothing can be proven either way, so tracking stands down.
+func helperMaybePut(n int) {
+	ar := getArena()
+	maybeFinish(ar, n > 4)
+}
+
+func maybeFinish(a *arena, cond bool) {
+	if cond {
+		putArena(a)
+	}
+}
+
+// helperEscape hands the arena to a helper that stores it; ownership
+// genuinely transfers and the local checks stand down.
+func helperEscape(n int) {
+	ar := getArena()
+	keep(ar)
+}
+
+var kept *arena
+
+func keep(a *arena) { kept = a }
+
+// deferThenExplicit returns the arena explicitly while `defer putArena` is
+// still armed: the defer returns it a second time at exit (pre-PR-4 any
+// deferred putArena made the analyzer stand down entirely).
+func deferThenExplicit(n int) {
+	ar := getArena()
+	defer putArena(ar)
+	_ = ar.alloc(n)
+	putArena(ar)
+} // want "the defer returns it a second time"
+
+// conditionalDefer arms the return in one branch only; the other path
+// falls off the end still rented.
+func conditionalDefer(n int) {
+	ar := getArena()
+	if n > 4 {
+		defer putArena(ar)
+	}
+	_ = ar.alloc(n)
+} // want "not returned with putArena on every path"
+
+// deferredClosurePut returns the arena from a deferred closure; the armed
+// state is anchored at the defer and covers every exit.
+func deferredClosurePut(n int) {
+	ar := getArena()
+	defer func() {
+		putArena(ar)
+	}()
+	_ = ar.alloc(n)
+}
+
+// closureCapture hands the arena to a non-deferred closure: it may run at
+// any time (or never), so local tracking ends — no finding.
+func closureCapture(n int) func() {
+	ar := getArena()
+	_ = ar.alloc(n)
+	return func() { putArena(ar) }
+}
+
 // escapeAllowed shows the audited escape hatch.
 func escapeAllowed(n int) nat {
 	ar := getArena()

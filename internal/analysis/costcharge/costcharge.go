@@ -11,6 +11,14 @@
 //     receiver or parameter of type Stats, Proc, or Machine (passing a nil
 //     *Stats is the documented caller opt-out; the channel still exists).
 //
+// Since PR 4 the delegation arm is verified, not assumed: when the callee
+// has an interprocedural summary (framework/summary.go), it only counts as
+// a witness if some path through it actually reaches a chargeWords/Proc
+// charge, transitively. A helper that accepts a *Stats and ignores it —
+// the charge-via-helper hole the signature heuristic could not see — no
+// longer silences the analyzer. Callees without a summary (outside the
+// loaded set) still count by signature.
+//
 // "Limb arithmetic" means calling a mutating/combining method on bigint.Int
 // or bigint.Acc (Add, Sub, Mul, MulInt64, Shl, Shr, DivExactInt64,
 // QuoRemWord, AddMul, DivExact). Cheap structural accessors (Sign, Abs, Neg,
@@ -102,12 +110,26 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 }
 
 // isWitness reports whether the call can charge the cost model: its target
-// function touches a Stats/Proc/Machine as receiver or parameter.
+// function touches a Stats/Proc/Machine as receiver or parameter, and —
+// when the callee's summary is available — some path through it provably
+// reaches a charge.
 func isWitness(pass *framework.Pass, call *ast.CallExpr) bool {
 	fn := framework.CalleeFunc(pass.Info, call)
 	if fn == nil {
 		return false
 	}
+	if !carriesWitnessType(fn) {
+		return false
+	}
+	if sum := pass.Summaries.OfFunc(fn); sum != nil {
+		// Verified delegation: the carrier must actually be chargeable.
+		return sum.Charges
+	}
+	return true
+}
+
+// carriesWitnessType is the pre-summary signature heuristic.
+func carriesWitnessType(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
 		return false

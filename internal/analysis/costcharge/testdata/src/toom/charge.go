@@ -68,6 +68,30 @@ func addWithStats(x, y Int, stats *Stats) Int {
 	return x.Add(y)
 }
 
+// FakeDelegate is the charge-via-helper hole the signature heuristic could
+// not see: the helper accepts a *Stats but provably never charges it, so
+// the summary refuses to count the call as a witness for the Sub below.
+func FakeDelegate(x, y Int) Int { // want "no channel to the F/BW/L cost model"
+	z := x.Sub(y)
+	return addIgnoringStats(z, y, nil)
+}
+
+func addIgnoringStats(x, y Int, stats *Stats) Int {
+	_ = stats
+	return x
+}
+
+// DeepDelegate charges through two helper hops; the summary's transitive
+// charge reachability proves the channel exists.
+func DeepDelegate(x, y Int, stats *Stats) Int {
+	z := x.Sub(y)
+	return viaHop(z, y, stats)
+}
+
+func viaHop(x, y Int, stats *Stats) Int {
+	return addWithStats(x, y, stats)
+}
+
 // unexported functions are not checked: their cost is their callers' duty.
 func unexportedHelper(x, y Int) Int {
 	return x.Sub(y)

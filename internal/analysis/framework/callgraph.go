@@ -1,0 +1,193 @@
+package framework
+
+// callgraph.go builds the static call graph over a set of loaded packages.
+// Interprocedural facts (summary.go) are computed bottom-up over its SCC
+// condensation, so a caller's summary can consult its callees' summaries
+// and mutual recursion is handled by iterating each component to a local
+// fixpoint.
+//
+// Nodes are identified by FuncKey rather than by *types.Func identity: the
+// loader type-checks each target package from source but satisfies its
+// imports from export data, so the object a caller's Info resolves for
+// `erasure.Decode` is a *different* types.Func than the one the erasure
+// package's own type-check produced. The key — import path, receiver type
+// name, function name — is computable identically from both, which is what
+// lets a summary computed in the defining package be looked up from any
+// call site.
+//
+// Edges cover static calls (plain and package-qualified identifiers) and
+// method calls resolved through their concrete receiver type. Calls through
+// func-typed variables and interface methods produce no edge; analyzers
+// treat a missing summary conservatively. Calls inside function literals
+// are attributed to the enclosing declared function: for the reachability
+// facts the graph feeds (charging, goroutine spawning, recovery paths) a
+// closure's effects belong to whoever constructed and ran it.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncKey returns a stable cross-package identifier for a declared function
+// or method: "pkgpath.Name" or "pkgpath.Recv.Name" with pointer receivers
+// unwrapped. It agrees between the source-checked object of the defining
+// package and the export-data object an importer sees.
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if recv := NamedTypeName(sig.Recv().Type()); recv != "" {
+			return pkg + "." + recv + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// CGNode is one declared function with a body.
+type CGNode struct {
+	Key  string
+	Fn   *types.Func // the defining package's object
+	Decl *ast.FuncDecl
+	Pkg  *Package // package the declaration lives in
+	// Calls holds the FuncKeys of statically resolved callees, including
+	// keys with no corresponding node (stdlib, interface methods).
+	Calls map[string]bool
+}
+
+// CallGraph is the static call graph over a package set.
+type CallGraph struct {
+	Nodes map[string]*CGNode
+	// SCCs lists the strongly connected components in bottom-up order:
+	// every component appears after all components it calls into.
+	SCCs [][]*CGNode
+}
+
+// NewCallGraph builds the graph and its SCC condensation.
+func NewCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*CGNode)}
+	for _, pkg := range pkgs {
+		FuncDecls(pkg.Files, func(fd *ast.FuncDecl) {
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				return
+			}
+			n := &CGNode{Key: FuncKey(fn), Fn: fn, Decl: fd, Pkg: pkg, Calls: map[string]bool{}}
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := CalleeFunc(pkg.Info, call); callee != nil {
+					n.Calls[FuncKey(callee)] = true
+				}
+				return true
+			})
+			g.Nodes[n.Key] = n
+		})
+	}
+	g.condense()
+	return g
+}
+
+// condense runs Tarjan's algorithm. Components are emitted callees-first,
+// which is exactly the bottom-up summary order.
+func (g *CallGraph) condense() {
+	index := make(map[string]int, len(g.Nodes))
+	low := make(map[string]int, len(g.Nodes))
+	onStack := make(map[string]bool, len(g.Nodes))
+	var stack []string
+	next := 0
+
+	// Iterative Tarjan: deep recursion chains exist in real trees.
+	type frame struct {
+		key   string
+		succs []string
+		i     int
+	}
+	succsOf := func(key string) []string {
+		var out []string
+		for c := range g.Nodes[key].Calls {
+			if _, ok := g.Nodes[c]; ok {
+				out = append(out, c)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{key: root, succs: succsOf(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				s := f.succs[f.i]
+				f.i++
+				if _, seen := index[s]; !seen {
+					index[s] = next
+					low[s] = next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					frames = append(frames, frame{key: s, succs: succsOf(s)})
+				} else if onStack[s] && index[s] < low[f.key] {
+					low[f.key] = index[s]
+				}
+				continue
+			}
+			// f is done: pop its SCC if it is a root, then propagate low.
+			if low[f.key] == index[f.key] {
+				var comp []*CGNode
+				for {
+					k := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[k] = false
+					comp = append(comp, g.Nodes[k])
+					if k == f.key {
+						break
+					}
+				}
+				g.SCCs = append(g.SCCs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.key] < low[p.key] {
+					low[p.key] = low[f.key]
+				}
+			}
+		}
+	}
+	// Deterministic traversal order: packages then declaration order.
+	for _, n := range g.declOrder() {
+		if _, seen := index[n.Key]; !seen {
+			visit(n.Key)
+		}
+	}
+}
+
+// declOrder returns nodes sorted by file position, giving deterministic SCC
+// output across runs.
+func (g *CallGraph) declOrder() []*CGNode {
+	out := make([]*CGNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg.Path != out[j].Pkg.Path {
+			return out[i].Pkg.Path < out[j].Pkg.Path
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}

@@ -55,6 +55,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Summaries is the interprocedural fact base over every package of the
+	// run (Run computes it for the single package; RunAll for the whole
+	// set, so cross-package helpers resolve).
+	Summaries *Summaries
+
 	diags []Diagnostic
 }
 
@@ -64,6 +69,10 @@ type Diagnostic struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+	// SuppressedBy holds the file:line of the //ftlint:allow comment that
+	// suppressed this finding ("" for active findings). Only populated on
+	// the suppressed list of RunAllDetail.
+	SuppressedBy string
 }
 
 // Reportf records a finding at pos.
@@ -81,29 +90,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // analyzer runs do not audit the allow comments (an allow aimed at another
 // analyzer would always look unknown or stale); use RunAll for that.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	return runFiltered(a, pkg, buildAllowIndex(pkg))
+	out, _, err := runFiltered(a, pkg, buildAllowIndex(pkg), ComputeSummaries([]*Package{pkg}))
+	return out, err
 }
 
-func runFiltered(a *Analyzer, pkg *Package, allowed *allowIndex) ([]Diagnostic, error) {
+func runFiltered(a *Analyzer, pkg *Package, allowed *allowIndex, sums *Summaries) ([]Diagnostic, []Diagnostic, error) {
 	pass := &Pass{
-		Analyzer: a,
-		Path:     pkg.Path,
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
+		Analyzer:  a,
+		Path:      pkg.Path,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		Summaries: sums,
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	var out []Diagnostic
+	var out, suppressed []Diagnostic
 	for _, d := range pass.diags {
-		if !allowed.suppresses(a.Name, d) {
+		if by, ok := allowed.suppresses(a.Name, d); ok {
+			d.SuppressedBy = by
+			suppressed = append(suppressed, d)
+		} else {
 			out = append(out, d)
 		}
 	}
 	sortDiags(out)
-	return out, nil
+	sortDiags(suppressed)
+	return out, suppressed, nil
 }
 
 func sortDiags(ds []Diagnostic) {
@@ -124,23 +139,32 @@ func sortDiags(ds []Diagnostic) {
 // audited: every allow must name a known analyzer and suppress at least one
 // finding of the full run.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	out, _, err := RunAllDetail(analyzers, pkgs)
+	return out, err
+}
+
+// RunAllDetail is RunAll plus the suppressed findings, each tagged with the
+// file:line of the allow comment that covered it — the payload of
+// `ftlint -json`.
+func RunAllDetail(analyzers []*Analyzer, pkgs []*Package) (active, suppressed []Diagnostic, err error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Diagnostic
+	sums := ComputeSummaries(pkgs)
 	for _, pkg := range pkgs {
 		idx := buildAllowIndex(pkg)
 		for _, a := range analyzers {
-			ds, err := runFiltered(a, pkg, idx)
+			ds, sup, err := runFiltered(a, pkg, idx, sums)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			out = append(out, ds...)
+			active = append(active, ds...)
+			suppressed = append(suppressed, sup...)
 		}
-		out = append(out, idx.audit(known)...)
+		active = append(active, idx.audit(known)...)
 	}
-	return out, nil
+	return active, suppressed, nil
 }
 
 // allowEntry is one analyzer name in one //ftlint:allow comment. Entries
@@ -260,16 +284,22 @@ func parseAllow(text string) []string {
 }
 
 // suppresses reports whether an allow covers d, marking every covering
-// entry as used so the audit can tell live allows from stale ones.
-func (idx *allowIndex) suppresses(name string, d Diagnostic) bool {
-	matched := false
+// entry as used so the audit can tell live allows from stale ones. The
+// returned string locates the (first) covering comment as file:line.
+func (idx *allowIndex) suppresses(name string, d Diagnostic) (string, bool) {
+	by := ""
+	mark := func(e *allowEntry) {
+		e.used = true
+		if by == "" {
+			by = fmt.Sprintf("%s:%d", e.position.Filename, e.position.Line)
+		}
+	}
 	pos := d.Position
 	if byLine := idx.lines[pos.Filename]; byLine != nil {
 		for _, line := range []int{pos.Line, pos.Line - 1} {
 			for _, e := range byLine[line] {
 				if e.name == name {
-					e.used = true
-					matched = true
+					mark(e)
 				}
 			}
 		}
@@ -280,12 +310,11 @@ func (idx *allowIndex) suppresses(name string, d Diagnostic) bool {
 		}
 		for _, e := range r.entries {
 			if e.name == name {
-				e.used = true
-				matched = true
+				mark(e)
 			}
 		}
 	}
-	return matched
+	return by, by != ""
 }
 
 // audit reports allow entries that name an analyzer outside the run set and

@@ -28,6 +28,21 @@ const (
 	StateLive
 	// StateReleased: released; further uses and releases are protocol errors.
 	StateReleased
+	// StateLiveArmed: live with a deferred release registered. Every exit
+	// from the function is covered by the pending deferred call, so an exit
+	// in this state is not a leak; an explicit release in this state will be
+	// released a second time by the defer at exit.
+	StateLiveArmed
+	// StateReleasedArmed: explicitly released while a deferred release is
+	// still armed — the deferred call will double-release at function exit.
+	StateReleasedArmed
+)
+
+// releasedAny matches every state in which the object has already been
+// released; liveAny matches every state in which it is currently live.
+const (
+	releasedAny = StateReleased | StateReleasedArmed
+	liveAny     = StateLive | StateLiveArmed
 )
 
 // ProtoEventKind classifies how a call site affects the tracked object.
@@ -40,6 +55,12 @@ const (
 	ProtoRelease
 	// ProtoUse is any other operation that requires the object to be live.
 	ProtoUse
+	// ProtoDeferRelease registers a deferred release at its defer statement:
+	// the release itself runs at every function exit, so paths through the
+	// registration are covered, while paths around it still owe a release.
+	// Keyed at the deferred CallExpr (for `defer f(x)` the deferred call
+	// itself; for `defer func() { ... }()` the closure invocation).
+	ProtoDeferRelease
 )
 
 // ProtoEvent is one call site affecting the tracked object, keyed by the
@@ -68,6 +89,11 @@ const (
 	// DoubleRelease: a ProtoRelease runs with the object already released.
 	DoubleRelease
 	DoubleReleasePartial
+	// DeferDoubleRelease: the function exits (return or fall-off) with the
+	// object explicitly released while a deferred release is still armed:
+	// the defer will release it a second time.
+	DeferDoubleRelease
+	DeferDoubleReleasePartial
 )
 
 // ProtoFinding is one protocol violation for the checked object.
@@ -81,9 +107,11 @@ type ProtoFinding struct {
 // CFG. events maps CallExpr positions to their effect on the object; only
 // *ast.CallExpr nodes are consulted, so positions shared with enclosing
 // expressions are unambiguous. exitPos is where fall-off-the-end leaks are
-// reported (the body's closing brace). Deferred calls must not appear in
-// events — a deferred release covers every path by construction, so callers
-// exempt such objects before invoking the checker.
+// reported (the body's closing brace). A deferred release is modeled as a
+// ProtoDeferRelease event at its registration point (the armed states above)
+// rather than exempting the object: a defer inside one branch covers only
+// the paths that execute it. Deferred *uses* must not appear in events —
+// they run at exit, after every observable program point.
 func CheckProtocol(g *CFG, events map[token.Pos]ProtoEvent, exitPos token.Pos) []ProtoFinding {
 	spec := FlowSpec[ObjState]{
 		Bottom:   func() ObjState { return 0 },
@@ -120,6 +148,13 @@ func CheckProtocol(g *CFG, events map[token.Pos]ProtoEvent, exitPos token.Pos) [
 		}
 		report(ProtoFinding{Pos: exitPos, Kind: kind})
 	}
+	if fallOff&StateReleasedArmed != 0 {
+		kind := DeferDoubleReleasePartial
+		if fallOff == StateReleasedArmed {
+			kind = DeferDoubleRelease
+		}
+		report(ProtoFinding{Pos: exitPos, Kind: kind})
+	}
 	return findings
 }
 
@@ -141,18 +176,39 @@ func walkProtocol(b *Block, st ObjState, events map[token.Pos]ProtoEvent, report
 			case ProtoAcquire:
 				st = StateLive
 			case ProtoRelease:
-				if report != nil && st&StateReleased != 0 {
+				if report != nil && st&releasedAny != 0 {
 					kind := DoubleReleasePartial
-					if st == StateReleased {
+					if st&^releasedAny == 0 {
 						kind = DoubleRelease
 					}
 					report(ProtoFinding{Pos: call.Pos(), Kind: kind, Name: ev.Name})
 				}
-				st = StateReleased
+				// Per-state transition: an armed defer stays armed through
+				// the explicit release — it will fire again at exit.
+				var next ObjState
+				if st&(StateNotYet|StateLive|StateReleased) != 0 {
+					next |= StateReleased
+				}
+				if st&(StateLiveArmed|StateReleasedArmed) != 0 {
+					next |= StateReleasedArmed
+				}
+				st = next
+			case ProtoDeferRelease:
+				var next ObjState
+				if st&StateNotYet != 0 {
+					next |= StateNotYet
+				}
+				if st&liveAny != 0 {
+					next |= StateLiveArmed
+				}
+				if st&releasedAny != 0 {
+					next |= StateReleasedArmed
+				}
+				st = next
 			case ProtoUse:
-				if report != nil && st&StateReleased != 0 {
+				if report != nil && st&releasedAny != 0 {
 					kind := UseAfterReleasePartial
-					if st == StateReleased {
+					if st&^releasedAny == 0 {
 						kind = UseAfterRelease
 					}
 					report(ProtoFinding{Pos: call.Pos(), Kind: kind, Name: ev.Name})
@@ -162,12 +218,21 @@ func walkProtocol(b *Block, st ObjState, events map[token.Pos]ProtoEvent, report
 		})
 		// The return's result expressions evaluate above; only then does the
 		// statement leave the function with whatever is still live.
-		if ret, ok := n.(*ast.ReturnStmt); ok && report != nil && st&StateLive != 0 {
-			kind := LeakReturnPartial
-			if st == StateLive {
-				kind = LeakReturn
+		if ret, ok := n.(*ast.ReturnStmt); ok && report != nil {
+			if st&StateLive != 0 {
+				kind := LeakReturnPartial
+				if st == StateLive {
+					kind = LeakReturn
+				}
+				report(ProtoFinding{Pos: ret.Pos(), Kind: kind})
 			}
-			report(ProtoFinding{Pos: ret.Pos(), Kind: kind})
+			if st&StateReleasedArmed != 0 {
+				kind := DeferDoubleReleasePartial
+				if st == StateReleasedArmed {
+					kind = DeferDoubleRelease
+				}
+				report(ProtoFinding{Pos: ret.Pos(), Kind: kind})
+			}
 		}
 	}
 	return st

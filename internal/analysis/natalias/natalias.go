@@ -12,6 +12,13 @@
 // source text shares the same base expression under slicing. That is exactly
 // the granularity at which the kernels' contract is written, and it keeps
 // the analyzer dependency-free.
+//
+// Since PR 4 the same check also applies *through wrappers*: when a callee's
+// interprocedural summary (framework/summary.go) records that it forwards
+// its parameters unmodified into a kernel's dst/src positions, the caller's
+// arguments at those positions are checked with the same aliasing rule —
+// the alias-through-wrapper hole a call-site-only analyzer provably cannot
+// see.
 package natalias
 
 import (
@@ -23,18 +30,8 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "natalias",
-	Doc:  "forbid partially-overlapping dst/src arguments to the destination-reuse nat kernels",
+	Doc:  "forbid partially-overlapping dst/src arguments to the destination-reuse nat kernels, including through forwarding wrappers",
 	Run:  run,
-}
-
-// kernelSrcArgs maps kernel name -> indices of its nat source operands
-// (index 0 is always dst).
-var kernelSrcArgs = map[string][]int{
-	"natAddTo":     {1, 2},
-	"natSubTo":     {1, 2},
-	"natMulWordTo": {1},
-	"natShlTo":     {1},
-	"natDivWordTo": {1},
 }
 
 func run(pass *framework.Pass) error {
@@ -48,29 +45,71 @@ func run(pass *framework.Pass) error {
 			if callee == nil {
 				return true
 			}
-			srcIdxs, ok := kernelSrcArgs[callee.Name]
-			if !ok || len(call.Args) <= srcIdxs[len(srcIdxs)-1] {
+			if srcIdxs, ok := framework.NatKernels[callee.Name]; ok {
+				checkDirect(pass, call, callee.Name, srcIdxs)
 				return true
 			}
-			dst := call.Args[0]
-			dstText := types.ExprString(ast.Unparen(dst))
-			dstBase := baseText(dst)
-			for _, i := range srcIdxs {
-				src := call.Args[i]
-				srcText := types.ExprString(ast.Unparen(src))
-				if dstText == srcText {
-					// Documented fully-in-place use: dst identical to src.
-					continue
-				}
-				if dstBase != "" && dstBase == baseText(src) {
-					pass.Reportf(call.Pos(), "dst %q partially aliases source %q: %s supports only exact in-place reuse (dst identical to a source operand)",
-						dstText, srcText, callee.Name)
-				}
-			}
+			checkWrapper(pass, call, callee.Name)
 			return true
 		})
 	}
 	return nil
+}
+
+// checkDirect applies the aliasing rule at a direct kernel call site.
+func checkDirect(pass *framework.Pass, call *ast.CallExpr, kernel string, srcIdxs []int) {
+	if len(call.Args) <= srcIdxs[len(srcIdxs)-1] {
+		return
+	}
+	dst := call.Args[0]
+	dstText := types.ExprString(ast.Unparen(dst))
+	dstBase := baseText(dst)
+	for _, i := range srcIdxs {
+		src := call.Args[i]
+		srcText := types.ExprString(ast.Unparen(src))
+		if dstText == srcText {
+			// Documented fully-in-place use: dst identical to src.
+			continue
+		}
+		if dstBase != "" && dstBase == baseText(src) {
+			pass.Reportf(call.Pos(), "dst %q partially aliases source %q: %s supports only exact in-place reuse (dst identical to a source operand)",
+				dstText, srcText, kernel)
+		}
+	}
+}
+
+// checkWrapper applies the aliasing rule through a forwarding callee: the
+// summary says which of the caller's argument positions land in a kernel's
+// dst/src operands.
+func checkWrapper(pass *framework.Pass, call *ast.CallExpr, name string) {
+	sum := pass.Summaries.Callee(pass.Info, call)
+	if sum == nil {
+		return
+	}
+	for _, kc := range sum.KernelCalls {
+		if kc.DstParam < 0 || kc.DstParam >= len(call.Args) {
+			continue
+		}
+		dst := call.Args[kc.DstParam]
+		dstText := types.ExprString(ast.Unparen(dst))
+		dstBase := baseText(dst)
+		for _, si := range kc.SrcParams {
+			if si < 0 || si >= len(call.Args) || si == kc.DstParam {
+				// The wrapper aliasing dst with itself is the documented
+				// in-place mode; unmapped operands are internal to it.
+				continue
+			}
+			src := call.Args[si]
+			srcText := types.ExprString(ast.Unparen(src))
+			if dstText == srcText {
+				continue // forwarded identically: exact in-place reuse
+			}
+			if dstBase != "" && dstBase == baseText(src) {
+				pass.Reportf(call.Pos(), "dst %q partially aliases source %q: %s forwards them into %s, which supports only exact in-place reuse",
+					dstText, srcText, name, kc.Kernel)
+			}
+		}
+	}
 }
 
 // baseText strips slicing from an expression and returns the source text of

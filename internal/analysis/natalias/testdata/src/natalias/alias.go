@@ -42,3 +42,31 @@ func use(a, b, c nat, ac *acc) {
 	//ftlint:allow natalias fixture: offset proven safe by construction
 	_ = natAddTo(a[1:], a, b)
 }
+
+// addInto forwards its parameters unmodified into natAddTo: the summary
+// records dst=0, srcs=[1 2] so call sites are checked like the kernel.
+func addInto(dst, x, y nat) nat { return natAddTo(dst, x, y) }
+
+// addIntoTwice is a wrapper around the wrapper; forwarding composes.
+func addIntoTwice(dst, x, y nat) nat { return addInto(dst, x, y) }
+
+// scaleInternal re-slices dst before the kernel, so its forwarding is not
+// identity and call sites are not (cannot be) checked through it.
+func scaleInternal(dst, x nat) nat { return natMulWordTo(dst[:len(x)], x, 3) }
+
+func useWrappers(a, b, c nat) {
+	// Exact in-place reuse and disjoint operands stay fine through the
+	// wrapper, exactly as at a direct kernel call.
+	_ = addInto(a, a, b)
+	_ = addInto(a, b, c)
+	_ = addIntoTwice(a, a, b)
+
+	// Alias-through-wrapper: the wrapper hands the kernel a dst that
+	// partially overlaps a source. A call-site-only analyzer sees only
+	// "addInto(a[1:], a, b)" and has no idea a kernel is behind it.
+	_ = addInto(a[1:], a, b)      // want "forwards them into natAddTo"
+	_ = addInto(b, c, b[2:])      // want "forwards them into natAddTo"
+	_ = addIntoTwice(a[1:], a, b) // want "forwards them into natAddTo"
+
+	_ = scaleInternal(a, b)
+}

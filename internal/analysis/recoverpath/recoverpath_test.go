@@ -1,0 +1,12 @@
+package recoverpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/recoverpath"
+)
+
+func TestRecoverPath(t *testing.T) {
+	analysistest.Run(t, recoverpath.Analyzer, "ftparallel")
+}

@@ -409,11 +409,13 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		if isWorker && len(dfsPath) > 0 {
 			// A restored worker replays its (local, linear) evaluation
 			// chain from the recovered inputs. The replay is deterministic,
-			// so the result is bit-identical to the lost state; we charge
-			// the work.
+			// so the result is bit-identical to the lost state; what this
+			// step needs from it is the charged recomputation cost — the
+			// shares themselves are not read again in this BFS step (the
+			// interpolation below consumes only the child products).
 			for _, fe := range ev {
 				if fe.Proc == rank {
-					myA, myB = e.replayEvalPath(p, dfsPath)
+					e.replayEvalPath(p, dfsPath)
 				}
 			}
 		}
@@ -465,8 +467,6 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 				st.deadSeen[c] = true
 			}
 		}
-		_ = myA
-		_ = myB
 	} else {
 		// Code re-creation (Section 4.1: "Each BFS step initiates a new
 		// code creation process"): live worker columns encode their child
@@ -479,12 +479,15 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		// Faults during the interpolation stage: rebuild lost product data
 		// from the fresh code.
 		ev2 := p.Barrier(PhaseInterp)
-		childProd, prodCode, err = e.recoverProducts(p, ev2, deadCols, childProd, prodCode, tag)
+		// The refreshed code rows (second result) are not needed past this
+		// point: interpolation-phase faults on code columns are declared
+		// dead below rather than re-protected. The error is checked — an
+		// undecodable erasure aborts the multiply.
+		childProd, _, err = e.recoverProducts(p, ev2, deadCols, childProd, prodCode, tag)
 		if err != nil {
 			return nil, err
 		}
 		st.recovered += len(ev2)
-		_ = prodCode
 		// Interpolation-phase faults on polynomial-code columns are not
 		// covered by the worker-column code; treat those columns as dead.
 		for _, f := range ev2 {
@@ -500,8 +503,6 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		if err := e.recoverInputs(p, ev2, ctx); err != nil {
 			return nil, err
 		}
-		_ = myA
-		_ = myB
 
 		// Surviving-column selection and on-the-fly interpolation matrix
 		// (Section 4.2, Correctness: "the interpolation matrix is
