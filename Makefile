@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson fuzz lint lint-json fuzz-smoke ci
+.PHONY: build test race vet bench benchjson fuzz lint lint-json fuzz-smoke wallsmoke ci
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,16 @@ bench:
 
 # Regenerate the committed benchmark snapshot for the current PR (the
 # BENCH_PR*.json trajectory is append-only; see cmd/benchjson).
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
 benchjson:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Wall-clock backend smoke: the machine/crosscheck suites that exercise the
+# wallnet transport, then one real end-to-end FT multiplication on -backend
+# wall with an injected fault, verified against math/big by ftmul itself.
+wallsmoke:
+	$(GO) test -run 'Wall|Backends|StragglerDropped' ./internal/machine/... ./internal/crosscheck ./internal/ftparallel
+	$(GO) run ./cmd/ftmul -bits 16384 -algo ft -k 2 -P 9 -f 1 -fault 4:mul -backend wall -q
 
 # Short fuzz pass over the bigint kernels (seed corpus always runs in `make test`).
 fuzz:
@@ -51,4 +58,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzNatMul -fuzztime 10s ./internal/bigint
 
 # ci mirrors .github/workflows/ci.yml locally: everything a PR must pass.
-ci: build test vet race fuzz-smoke lint
+ci: build test vet race fuzz-smoke wallsmoke lint

@@ -49,11 +49,25 @@ import (
 	"repro/internal/toomgraph"
 )
 
+// expBackend is the -backend flag: every machine the experiments build gets
+// it stamped into its config via mcfg. F/BW/L columns are identical on both
+// backends (accounting is a transport decorator); time columns change
+// meaning from modeled units to real seconds.
+var expBackend machine.Backend
+
+// mcfg stamps the selected backend into a machine config.
+func mcfg(c machine.Config) machine.Config {
+	c.Backend = expBackend
+	return c
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, figure1, figure2, figure3, headline, memory, ablation, softfault, scaling, stragglers, phases, crossover, all")
 	bits := flag.Int("bits", 1<<16, "operand size in bits")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	backend := flag.String("backend", "sim", "machine backend: sim (virtual clock, modeled time) or wall (wall clock, real time)")
 	flag.Parse()
+	expBackend = machine.Backend(*backend)
 
 	rng := rand.New(rand.NewSource(*seed))
 	a := bigint.Random(rng, *bits)
@@ -97,11 +111,11 @@ func crossover(_, _ bigint.Int) error {
 	for _, bits := range []int{1 << 12, 1 << 14, 1 << 16} {
 		a := bigint.Random(rng, bits)
 		b := bigint.Random(rng, bits)
-		sb, err := parallel.MultiplySchoolbook(a, b, parallel.SchoolbookOptions{P: 9})
+		sb, err := parallel.MultiplySchoolbook(a, b, parallel.SchoolbookOptions{P: 9, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
-		tc, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: 9})
+		tc, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: 9, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
@@ -121,7 +135,7 @@ func crossover(_, _ bigint.Int) error {
 // fold), from processor 0's mark trace.
 func phases(a, b bigint.Int) error {
 	alg := toom.MustNew(2)
-	res, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: 27})
+	res, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: 27, Machine: mcfg(machine.Config{})})
 	if err != nil {
 		return err
 	}
@@ -167,7 +181,7 @@ func stragglers(a, b bigint.Int) error {
 	want := alg.Mul(a, b)
 
 	plain, err := parallel.Multiply(a, b, parallel.Options{
-		Alg: alg, P: 9, Machine: machine.Config{SpeedFactors: slowPlain},
+		Alg: alg, P: 9, Machine: mcfg(machine.Config{SpeedFactors: slowPlain}),
 	})
 	if err != nil {
 		return err
@@ -179,7 +193,7 @@ func stragglers(a, b bigint.Int) error {
 	res, err := ftparallel.Multiply(a, b, ftparallel.Options{
 		Alg: alg, P: 9, F: 1,
 		DropStragglers: true, StragglerSlack: slack,
-		Machine: machine.Config{SpeedFactors: slow},
+		Machine: mcfg(machine.Config{SpeedFactors: slow}),
 	})
 	if err != nil {
 		return err
@@ -217,11 +231,11 @@ func scaling(_, _ bigint.Int) error {
 	} {
 		a := bigint.Random(rng, cfg.bits)
 		b := bigint.Random(rng, cfg.bits)
-		plain, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: cfg.p})
+		plain, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: cfg.p, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
-		ft, err := ftparallel.Multiply(a, b, ftparallel.Options{Alg: alg, P: cfg.p, F: 1})
+		ft, err := ftparallel.Multiply(a, b, ftparallel.Options{Alg: alg, P: cfg.p, F: 1, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
@@ -302,15 +316,15 @@ func tableRows(a, b bigint.Int, k, p, f, dfs int) ([]row, error) {
 	}
 	want := alg.Mul(a, b)
 
-	plain, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: p, DFSSteps: dfs})
+	plain, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: p, DFSSteps: dfs, Machine: mcfg(machine.Config{})})
 	if err != nil {
 		return nil, err
 	}
-	repl, err := ftparallel.MultiplyReplicated(a, b, ftparallel.ReplicationOptions{Alg: alg, P: p, F: f, DFSSteps: dfs})
+	repl, err := ftparallel.MultiplyReplicated(a, b, ftparallel.ReplicationOptions{Alg: alg, P: p, F: f, DFSSteps: dfs, Machine: mcfg(machine.Config{})})
 	if err != nil {
 		return nil, err
 	}
-	ft, err := ftparallel.Multiply(a, b, ftparallel.Options{Alg: alg, P: p, F: f, DFSSteps: dfs})
+	ft, err := ftparallel.Multiply(a, b, ftparallel.Options{Alg: alg, P: p, F: f, DFSSteps: dfs, Machine: mcfg(machine.Config{})})
 	if err != nil {
 		return nil, err
 	}
@@ -482,15 +496,15 @@ func headline(a, b bigint.Int) error {
 	alg := toom.MustNew(2)
 	k, f := 2, 1
 	for _, p := range []int{3, 9, 27} {
-		plain, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: p})
+		plain, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: p, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
-		repl, err := ftparallel.MultiplyReplicated(a, b, ftparallel.ReplicationOptions{Alg: alg, P: p, F: f})
+		repl, err := ftparallel.MultiplyReplicated(a, b, ftparallel.ReplicationOptions{Alg: alg, P: p, F: f, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
-		ft, err := ftparallel.Multiply(a, b, ftparallel.Options{Alg: alg, P: p, F: f})
+		ft, err := ftparallel.Multiply(a, b, ftparallel.Options{Alg: alg, P: p, F: f, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}
@@ -515,7 +529,7 @@ func memoryExp(a, b bigint.Int) error {
 	nWords := int64(a.BitLen()/64 + 1)
 	for _, m := range []int64{0, 256, 64, 16} {
 		l := parallel.DFSStepsFor(nWords, 2, 9, m)
-		res, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: 9, DFSSteps: l, TrackMemory: true})
+		res, err := parallel.Multiply(a, b, parallel.Options{Alg: alg, P: 9, DFSSteps: l, TrackMemory: true, Machine: mcfg(machine.Config{})})
 		if err != nil {
 			return err
 		}

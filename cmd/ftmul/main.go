@@ -8,6 +8,12 @@
 //	ftmul -bits 65536 -algo ft -k 2 -P 9 -f 1 -fault 4:mul
 //	ftmul -bits 65536 -algo replicated -P 9 -f 2
 //	ftmul -bits 65536 -algo checkpoint -P 9 -fault 3:mul
+//	ftmul -bits 65536 -algo ft -k 2 -P 9 -f 1 -backend wall  # real time
+//
+// -backend selects the machine realization: "sim" (default) runs on the
+// deterministic virtual-clock simulator and reports modeled time; "wall"
+// runs the same algorithm on the in-process wall-clock backend and reports
+// elapsed seconds. F/BW/L are identical on both.
 package main
 
 import (
@@ -62,9 +68,10 @@ func main() {
 		k      = flag.Int("k", 3, "Toom-Cook split number (>= 2)")
 		p      = flag.Int("P", 9, "simulated processors (power of 2k-1)")
 		f      = flag.Int("f", 1, "faults to tolerate (ft/replicated)")
-		mem    = flag.Int64("M", 0, "per-processor memory budget in words (0 = unlimited)")
-		quiet  = flag.Bool("q", false, "print only a digest of the product")
-		faults faultFlags
+		mem     = flag.Int64("M", 0, "per-processor memory budget in words (0 = unlimited)")
+		backend = flag.String("backend", "sim", "machine backend: sim (virtual clock) or wall (wall clock; time in seconds)")
+		quiet   = flag.Bool("q", false, "print only a digest of the product")
+		faults  faultFlags
 	)
 	flag.Var(&faults, "fault", "inject a fault, proc:phase[:hit]; repeatable")
 	flag.Parse()
@@ -73,7 +80,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg := ftmul.ClusterConfig{P: *p, MemoryWords: *mem}
+	cfg := ftmul.ClusterConfig{P: *p, MemoryWords: *mem, Backend: *backend}
 
 	var (
 		product *big.Int
@@ -132,8 +139,8 @@ func main() {
 	fmt.Println("verified against math/big: ok")
 	if report != nil {
 		fmt.Printf("processors: %d\n", report.Processors)
-		fmt.Printf("critical path: F=%d words-ops, BW=%d words, L=%d messages, time=%.0f\n",
-			report.F, report.BW, report.L, report.Time)
+		fmt.Printf("critical path: F=%d words-ops, BW=%d words, L=%d messages, time=%s\n",
+			report.F, report.BW, report.L, fmtTime(report.Time))
 		fmt.Printf("totals: F=%d, BW=%d, L=%d\n", report.TotalF, report.TotalBW, report.TotalL)
 	}
 	for _, n := range notes {
@@ -159,6 +166,15 @@ func operands(aStr, bStr string, bits int, seed int64) (*big.Int, *big.Int, erro
 		return nil, nil, fmt.Errorf("cannot parse -b %q", bStr)
 	}
 	return a, b, nil
+}
+
+// fmtTime keeps simulator times integral (model units) while wall-clock
+// times, typically fractions of a second, keep their sub-second digits.
+func fmtTime(t float64) string {
+	if t >= 1 {
+		return strconv.FormatFloat(t, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(t, 'f', 4, 64)
 }
 
 func lastHex(v *big.Int, n int) string {

@@ -26,6 +26,7 @@ package ftmul
 import (
 	"fmt"
 	"math/big"
+	"time"
 
 	"repro/internal/bigint"
 	"repro/internal/ftparallel"
@@ -99,6 +100,19 @@ type ClusterConfig struct {
 	// time (delay faults): processor i's arithmetic costs SpeedFactors[i]×
 	// the normal γ. Nil or zero entries mean full speed.
 	SpeedFactors []float64
+	// Backend selects the machine realization the algorithms run on:
+	// "sim" (empty, the default) is the deterministic virtual-clock
+	// simulator; "wall" is the in-process wall-clock backend with real
+	// deadlines. F, BW and L are identical on both — accounting is a
+	// decorator over the transport — so only the meaning of Time changes
+	// (virtual cost units versus real seconds or dilated model units).
+	Backend string
+	// WallTimeDilation applies to the wall backend only: the real duration
+	// of one model unit. When set, cost charges are slept off at that rate
+	// and clocks read in model units, so straggler slack and speed factors
+	// keep their virtual-machine ratios under real time. Zero means
+	// free-running with clocks in seconds.
+	WallTimeDilation time.Duration
 }
 
 func (c ClusterConfig) machineConfig() machine.Config {
@@ -107,10 +121,12 @@ func (c ClusterConfig) machineConfig() machine.Config {
 	// engines (TrackMemory) rather than a public-API failure mode — the
 	// paper's M is an asymptotic budget, not a byte-exact allocator.
 	return machine.Config{
-		Alpha:        c.Alpha,
-		Beta:         c.Beta,
-		Gamma:        c.Gamma,
-		SpeedFactors: c.SpeedFactors,
+		Alpha:            c.Alpha,
+		Beta:             c.Beta,
+		Gamma:            c.Gamma,
+		SpeedFactors:     c.SpeedFactors,
+		Backend:          machine.Backend(c.Backend),
+		WallTimeDilation: c.WallTimeDilation,
 	}
 }
 
@@ -338,6 +354,11 @@ func (c ClusterConfig) Validate(k int) error {
 			return fmt.Errorf("ftmul: P = %d is not a power of 2k-1 = %d", c.P, 2*k-1)
 		}
 		p /= 2*k - 1
+	}
+	switch machine.Backend(c.Backend) {
+	case "", machine.BackendSim, machine.BackendWall:
+	default:
+		return fmt.Errorf("ftmul: unknown backend %q (want %q or %q)", c.Backend, machine.BackendSim, machine.BackendWall)
 	}
 	return nil
 }

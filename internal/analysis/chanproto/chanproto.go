@@ -41,8 +41,11 @@ var Analyzer = &framework.Analyzer{
 }
 
 // governed lists the package path segments whose channel traffic follows the
-// simulator protocol.
-var governed = []string{"machine", "collective", "ftparallel"}
+// simulator protocol. "machine" covers the transport subpackages
+// (internal/machine/{transport,simnet,wallnet,costacct,faultinject}); the
+// backends are also listed by name so single-segment fixture packages fall
+// in scope.
+var governed = []string{"machine", "collective", "ftparallel", "transport", "simnet", "wallnet"}
 
 // procComm maps Proc method names to the argument index of their tag, for
 // the methods that move messages. The tag is always the second argument.

@@ -10,3 +10,9 @@ import (
 func TestChanProto(t *testing.T) {
 	analysistest.Run(t, chanproto.Analyzer, "machine")
 }
+
+// The transport backends move messages over raw channels; the host-send
+// discipline must apply to them under their own package names.
+func TestChanProtoTransportBackend(t *testing.T) {
+	analysistest.Run(t, chanproto.Analyzer, "wallnet")
+}

@@ -1,0 +1,33 @@
+// Fixture for the chanproto analyzer, named "wallnet" so its synthetic
+// import path matches the transport-backend entry in the governed list.
+// The backends move messages over raw Go channels, so the rule that
+// matters here is the host-send discipline: every send must be visibly
+// non-blocking (select clause, buffered channel, or worker goroutine).
+package wallnet
+
+type message struct{ words int64 }
+
+// deliverBare is the bug the rule exists for: a bare send on a channel of
+// unknown buffering can deadlock the whole machine if the peer is gone.
+func deliverBare(ch chan message, m message) {
+	ch <- m // want "unbuffered channel send"
+}
+
+// deliverSelect is how the real backends send: a select clause can carry a
+// default (simulator: protocol error on full buffer) or a ctx.Done case
+// (wall clock: backpressure with cancellation), and never wedges the host.
+func deliverSelect(ch chan message, m message, done chan struct{}) bool {
+	select {
+	case ch <- m:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// deliverBuffered: a visibly buffered channel cannot block the first send.
+func deliverBuffered(m message) chan message {
+	ch := make(chan message, 128)
+	ch <- m
+	return ch
+}

@@ -95,10 +95,16 @@ var chargePrimitives = map[string]map[string]bool{
 		"Work": true, "Send": true, "Recv": true,
 		"RecvInts": true, "RecvDeadline": true, "Barrier": true,
 	},
+	// Endpoint is the transport-seam carrier (costacct.Endpoint): the layer
+	// machine.Proc charges through, with the same primitive set.
+	"Endpoint": {
+		"Work": true, "Send": true, "Recv": true,
+		"RecvDeadline": true, "Barrier": true,
+	},
 }
 
 // chargeCarrierTypes are the cost-model carrier types of a signature.
-var chargeCarrierTypes = map[string]bool{"Stats": true, "Proc": true, "Machine": true}
+var chargeCarrierTypes = map[string]bool{"Stats": true, "Proc": true, "Machine": true, "Endpoint": true}
 
 // recoverySources lists the decode/verify entry points of the fault
 // recovery machinery, per receiver type name.

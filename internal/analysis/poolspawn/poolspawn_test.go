@@ -14,3 +14,9 @@ func TestPoolSpawnGoverned(t *testing.T) {
 func TestPoolSpawnUngoverned(t *testing.T) {
 	analysistest.Run(t, poolspawn.Analyzer, "other")
 }
+
+// The machine's transport backends are governed by name, not only through
+// their parent "machine" path segment.
+func TestPoolSpawnTransportBackend(t *testing.T) {
+	analysistest.Run(t, poolspawn.Analyzer, "simnet")
+}

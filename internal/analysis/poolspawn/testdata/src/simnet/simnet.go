@@ -1,0 +1,16 @@
+// Fixture for the poolspawn analyzer, named "simnet" so its synthetic
+// import path matches the transport-backend entry in the governed list:
+// the machine's network backends are under the no-raw-goroutines rule just
+// like the algorithm packages above them.
+package simnet
+
+type endpoint struct{ rank int }
+
+func deliverAsync(e *endpoint, fn func()) {
+	go fn() // want "raw go statement"
+}
+
+func runProc(e *endpoint, body func(*endpoint) error) {
+	//ftlint:allow poolspawn fixture: the backend's per-processor launch is the sanctioned pool
+	go func() { _ = body(e) }()
+}

@@ -1,0 +1,38 @@
+// Fixture named "costacct" after the transport-seam accounting decorator:
+// its per-endpoint counters are a struct named Stats precisely so this
+// unscoped analyzer governs them by name. Each endpoint owns its Stats and
+// the machine merges after the join — sharing one across the per-processor
+// goroutines is the race this fixture pins.
+package costacct
+
+type Stats struct {
+	Flops     int64
+	SentWords int64
+}
+
+type endpoint struct {
+	st *Stats
+}
+
+// raceSharedEndpointStats: two processor goroutines charging one Stats.
+func raceSharedEndpointStats(shared *Stats) {
+	for rank := 0; rank < 2; rank++ {
+		go func() {
+			shared.Flops += 1 // want "non-atomic write to shared Stats counter"
+		}()
+	}
+}
+
+// okPerEndpoint: each goroutine gets its own endpoint and Stats; the host
+// reads them only after the join.
+func okPerEndpoint(out []*endpoint) {
+	for rank := range out {
+		rank := rank
+		go func() {
+			ep := &endpoint{st: &Stats{}}
+			ep.st.Flops += 1
+			ep.st.SentWords += 3
+			out[rank] = ep
+		}()
+	}
+}

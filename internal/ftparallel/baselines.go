@@ -77,7 +77,10 @@ func MultiplyReplicated(a, b bigint.Int, opts ReplicationOptions) (*ReplicationR
 		// The single fault barrier: a fault here models a failure anywhere
 		// in the victim's fleet during the computation (the fleet's output
 		// can no longer be trusted/assembled).
-		ev := p.Barrier(PhaseMul)
+		ev, err := p.Barrier(PhaseMul)
+		if err != nil {
+			return err
+		}
 		dead := map[int]bool{}
 		for _, f := range ev {
 			dead[f.Proc/opts.P] = true
@@ -213,7 +216,10 @@ func MultiplyCheckpointRestart(a, b bigint.Int, opts CheckpointOptions) (*Checkp
 			if err != nil {
 				return err
 			}
-			ev := p.Barrier(PhaseMul)
+			ev, err := p.Barrier(PhaseMul)
+			if err != nil {
+				return err
+			}
 			if len(ev) == 0 {
 				share = s
 				restarts[rank] = attempt

@@ -232,7 +232,10 @@ func (e *engine) run(p *machine.Proc) (slotShares, []int, int, error) {
 
 		// Faults during the evaluation stage lose input data; the linear
 		// code rebuilds it with reduces — no recomputation (Section 4.1).
-		ev := p.Barrier(PhaseEval)
+		ev, err := p.Barrier(PhaseEval)
+		if err != nil {
+			return nil, nil, 0, err
+		}
 		if err := e.recoverInputs(p, ev, ctx); err != nil {
 			return nil, nil, 0, err
 		}
@@ -390,7 +393,10 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 	// "we halt the execution of the remaining processors of its column").
 	deadCols := map[int]bool{}
 	if !e.dropStragglers {
-		ev := p.Barrier(PhaseMul)
+		ev, err := p.Barrier(PhaseMul)
+		if err != nil {
+			return nil, err
+		}
 		for _, f := range ev {
 			if c, ok := lay.ColumnOf(f.Proc); ok {
 				deadCols[c] = true
@@ -478,7 +484,10 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 
 		// Faults during the interpolation stage: rebuild lost product data
 		// from the fresh code.
-		ev2 := p.Barrier(PhaseInterp)
+		ev2, err := p.Barrier(PhaseInterp)
+		if err != nil {
+			return nil, err
+		}
 		// The refreshed code rows (second result) are not needed past this
 		// point: interpolation-phase faults on code columns are declared
 		// dead below rather than re-protected. The error is checked — an

@@ -1,0 +1,150 @@
+// Package costacct charges the paper's three cost measures — F (arithmetic
+// word-operations), BW (words communicated), L (messages) — as a decorator
+// over any transport backend. Because the counters live here and not in a
+// backend, F/BW/L figures are identical on the virtual-clock simulator and
+// the wall-clock backend by construction: only the meaning of time differs.
+//
+// Charges follow the model C = α·L + β·BW + γ·F along each endpoint's own
+// timeline: Send advances time by α + β·words, Work by γ·n, and Barrier by
+// ⌈log₂P⌉·(α+β) (a tree barrier of one-word messages). Time itself is the
+// wrapped endpoint's business — the simulator adds the units to its virtual
+// clock, the wall backend sleeps them off or ignores them.
+package costacct
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/machine/transport"
+)
+
+// Model holds the runtime coefficients: latency per message, time per word,
+// time per arithmetic word-operation.
+type Model struct {
+	Alpha, Beta, Gamma float64
+}
+
+// Stats are one endpoint's accumulated costs. The struct is owned by the
+// endpoint's goroutine; read it via Endpoint.Stats after the run.
+type Stats struct {
+	Flops     int64 // F: word-level arithmetic operations
+	SentWords int64 // words sent
+	RecvWords int64 // words received
+	Messages  int64 // L: messages sent
+}
+
+// Transport decorates inner with cost accounting.
+type Transport struct {
+	inner transport.Transport
+	model Model
+}
+
+// New wraps inner so every endpoint it opens counts F/BW/L under model.
+func New(inner transport.Transport, model Model) *Transport {
+	return &Transport{inner: inner, model: model}
+}
+
+// P implements transport.Transport.
+func (t *Transport) P() int { return t.inner.P() }
+
+// Open implements transport.Transport.
+func (t *Transport) Open(ctx context.Context, rank int) (transport.Endpoint, error) {
+	return t.OpenCounted(ctx, rank)
+}
+
+// OpenCounted is Open returning the concrete type, so callers that need the
+// counting extensions (Work, Stats) keep them without a type assertion.
+func (t *Transport) OpenCounted(ctx context.Context, rank int) (*Endpoint, error) {
+	ep, err := t.inner.Open(ctx, rank)
+	if err != nil {
+		return nil, fmt.Errorf("costacct: %w", err)
+	}
+	return &Endpoint{inner: ep, model: t.model}, nil
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// Endpoint counts costs and forwards to the wrapped endpoint. Like every
+// endpoint, it must only be used from its rank's own goroutine.
+type Endpoint struct {
+	inner transport.Endpoint
+	model Model
+	st    Stats
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (ep *Endpoint) Stats() Stats { return ep.st }
+
+// Work charges n word-level arithmetic operations: F increases by n and the
+// endpoint's time advances by γ·n (which a delay-fault decorator below may
+// stretch). Work is the one counting method outside transport.Endpoint —
+// computation is local, so only the accounting layer needs to see it.
+func (ep *Endpoint) Work(n int64) {
+	ep.st.Flops += n
+	ep.inner.ElapseWork(ep.model.Gamma * float64(n))
+}
+
+// Rank implements transport.Endpoint.
+func (ep *Endpoint) Rank() int { return ep.inner.Rank() }
+
+// P implements transport.Endpoint.
+func (ep *Endpoint) P() int { return ep.inner.P() }
+
+// Send charges one message (L) and the payload's word count (BW), advances
+// time by α + β·words, then forwards. The charge lands before the transfer
+// so the message's arrival stamp includes it.
+func (ep *Endpoint) Send(to int, tag string, payload transport.Payload) error {
+	w := payload.Words()
+	ep.st.Messages++
+	ep.st.SentWords += w
+	ep.inner.Elapse(ep.model.Alpha + ep.model.Beta*float64(w))
+	return ep.inner.Send(to, tag, payload)
+}
+
+// Recv forwards and charges the received words on success.
+func (ep *Endpoint) Recv(from int, tag string) (transport.Payload, error) {
+	payload, err := ep.inner.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	ep.st.RecvWords += payload.Words()
+	return payload, nil
+}
+
+// RecvDeadline forwards and charges the received words only when a message
+// was accepted in time.
+func (ep *Endpoint) RecvDeadline(from int, tag string, deadline float64) (transport.Payload, bool, error) {
+	payload, ok, err := ep.inner.RecvDeadline(from, tag, deadline)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	ep.st.RecvWords += payload.Words()
+	return payload, ok, nil
+}
+
+// Barrier charges ⌈log₂P⌉ one-word messages (a tree barrier) and the
+// matching α+β time per message, then forwards to the rendezvous.
+func (ep *Endpoint) Barrier(phase string, local []transport.FaultEvent) ([]transport.FaultEvent, error) {
+	logP := int64(math.Ceil(math.Log2(float64(ep.inner.P()))))
+	if logP < 1 {
+		logP = 1
+	}
+	ep.st.Messages += logP
+	ep.st.SentWords += logP
+	ep.inner.Elapse(float64(logP) * (ep.model.Alpha + ep.model.Beta))
+	return ep.inner.Barrier(phase, local)
+}
+
+// Now implements transport.Endpoint.
+func (ep *Endpoint) Now() float64 { return ep.inner.Now() }
+
+// Elapse implements transport.Endpoint.
+func (ep *Endpoint) Elapse(units float64) { ep.inner.Elapse(units) }
+
+// ElapseWork implements transport.Endpoint.
+func (ep *Endpoint) ElapseWork(units float64) { ep.inner.ElapseWork(units) }
+
+// Done implements transport.Endpoint.
+func (ep *Endpoint) Done() { ep.inner.Done() }

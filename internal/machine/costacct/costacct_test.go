@@ -1,0 +1,112 @@
+package costacct
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/machine/simnet"
+)
+
+type words int64
+
+func (w words) Words() int64 { return int64(w) }
+
+func open(t *testing.T, p int, model Model) (*Transport, []*Endpoint) {
+	t.Helper()
+	inner, err := simnet.New(simnet.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(inner, model)
+	eps := make([]*Endpoint, p)
+	for i := range eps {
+		if eps[i], err = tr.OpenCounted(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, eps
+}
+
+func TestWorkChargesGammaAndCountsFlops(t *testing.T) {
+	_, eps := open(t, 1, Model{Alpha: 1, Beta: 1, Gamma: 2})
+	eps[0].Work(10)
+	if st := eps[0].Stats(); st.Flops != 10 {
+		t.Errorf("flops = %d", st.Flops)
+	}
+	if now := eps[0].Now(); now != 20 {
+		t.Errorf("clock = %v, want 20 (γ=2)", now)
+	}
+}
+
+func TestSendChargesAlphaBetaAndStampsAfterCharge(t *testing.T) {
+	_, eps := open(t, 2, Model{Alpha: 100, Beta: 10, Gamma: 1})
+	if err := eps[0].Send(1, "x", words(3)); err != nil {
+		t.Fatal(err)
+	}
+	st := eps[0].Stats()
+	if st.Messages != 1 || st.SentWords != 3 {
+		t.Errorf("sender stats = %+v", st)
+	}
+	if now := eps[0].Now(); now != 130 {
+		t.Errorf("sender clock = %v, want 130 (α+3β)", now)
+	}
+	if _, err := eps[1].Recv(0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if st := eps[1].Stats(); st.RecvWords != 3 {
+		t.Errorf("receiver stats = %+v", st)
+	}
+	// The arrival stamp includes the sender's transfer charge.
+	if now := eps[1].Now(); now != 130 {
+		t.Errorf("receiver clock = %v, want 130", now)
+	}
+}
+
+func TestBarrierChargesTreeCost(t *testing.T) {
+	_, eps := open(t, 4, Model{Alpha: 100, Beta: 10, Gamma: 1})
+	done := make(chan error, 4)
+	for _, ep := range eps {
+		go func(ep *Endpoint) {
+			_, err := ep.Barrier("x", nil)
+			done <- err
+		}(ep)
+	}
+	for range eps {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// log2(4) = 2 one-word messages, each costing α+β.
+	st := eps[0].Stats()
+	if st.Messages != 2 || st.SentWords != 2 {
+		t.Errorf("barrier stats = %+v, want 2 messages / 2 words", st)
+	}
+	if now := eps[0].Now(); now != 220 {
+		t.Errorf("clock = %v, want 220", now)
+	}
+}
+
+func TestBarrierChargesAtLeastOneMessage(t *testing.T) {
+	_, eps := open(t, 1, Model{Alpha: 1, Beta: 1, Gamma: 1})
+	if _, err := eps[0].Barrier("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := eps[0].Stats(); st.Messages != 1 {
+		t.Errorf("P=1 barrier messages = %d, want 1 (⌈log₂P⌉ floored at 1)", st.Messages)
+	}
+}
+
+func TestMissedDeadlineChargesNothing(t *testing.T) {
+	_, eps := open(t, 2, Model{Alpha: 1, Beta: 1, Gamma: 1})
+	eps[0].Elapse(700)
+	if err := eps[0].Send(1, "d", words(5)); err != nil {
+		t.Fatal(err)
+	}
+	before := eps[1].Stats()
+	if _, ok, err := eps[1].RecvDeadline(0, "d", 500); err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if after := eps[1].Stats(); after.RecvWords != before.RecvWords {
+		t.Errorf("missed deadline charged %d recv words", after.RecvWords-before.RecvWords)
+	}
+}

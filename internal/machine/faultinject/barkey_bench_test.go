@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The seed simulator counted barrier crossings in one machine-wide map
+// keyed by fmt.Sprintf("%s#%d", phase, rank) — an allocation (several,
+// via Sprintf) on every barrier of every rank. The decorator counts in a
+// per-endpoint map keyed by the phase string alone, which allocates
+// nothing after the first crossing of each phase. These benchmarks pin the
+// difference; run with -benchmem:
+//
+//	BenchmarkHitKeySprintf     2 allocs/op  (the seed scheme)
+//	BenchmarkHitKeyStruct       0 allocs/op  (shared map, composite key)
+//	BenchmarkHitKeyPerRank      0 allocs/op  (what faultinject ships)
+
+const benchRanks = 16
+
+var benchPhases = [...]string{"eval", "mul", "interp"}
+
+func BenchmarkHitKeySprintf(b *testing.B) {
+	hits := make(map[string]int, benchRanks*len(benchPhases))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		phase := benchPhases[i%len(benchPhases)]
+		key := fmt.Sprintf("%s#%d", phase, i%benchRanks)
+		hits[key]++
+	}
+}
+
+func BenchmarkHitKeyStruct(b *testing.B) {
+	type hitKey struct {
+		phase string
+		rank  int
+	}
+	hits := make(map[hitKey]int, benchRanks*len(benchPhases))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		phase := benchPhases[i%len(benchPhases)]
+		hits[hitKey{phase, i % benchRanks}]++
+	}
+}
+
+func BenchmarkHitKeyPerRank(b *testing.B) {
+	perRank := make([]map[string]int, benchRanks)
+	for i := range perRank {
+		perRank[i] = make(map[string]int, len(benchPhases))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		phase := benchPhases[i%len(benchPhases)]
+		perRank[i%benchRanks][phase]++
+	}
+}

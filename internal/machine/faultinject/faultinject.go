@@ -1,0 +1,168 @@
+// Package faultinject injects the paper's fault categories as a decorator
+// over any transport backend:
+//
+//   - hard (fail-stop) faults: a rank scheduled to fail at barrier phase X
+//     (for the Hit-th time it reaches X) loses its local state there — the
+//     decorator invokes the OnFault callback (the machine wipes the rank's
+//     store) and announces a FaultEvent to every barrier participant,
+//     modeling fail-stop death with immediate in-place replacement under a
+//     perfect failure detector;
+//   - delay faults (stragglers): per-rank speed factors stretch ElapseWork,
+//     so a slow rank's computation takes longer on whichever clock the
+//     backend keeps — virtual units on simnet, real (dilated) time on
+//     wallnet — without touching communication charges.
+//
+// Hit counting is per-endpoint and phase-keyed: each endpoint owns a small
+// map[phase]count, so counting a barrier crossing is an allocation-free map
+// lookup instead of the seed's global fmt.Sprintf("%s#%d")-keyed map (see
+// BenchmarkHitKey* for the difference).
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine/transport"
+)
+
+// Fault schedules a hard fault: rank Proc dies when it reaches the barrier
+// named Phase for the Hit-th time (0 = first).
+type Fault struct {
+	Proc  int
+	Phase string
+	Hit   int
+}
+
+// Transport decorates inner with fault injection.
+type Transport struct {
+	inner   transport.Transport
+	faults  map[string]map[int]map[int]bool // phase -> hit -> rank set
+	speed   []float64
+	onFault func(rank int)
+
+	mu     sync.Mutex
+	events []transport.FaultEvent
+}
+
+// New wraps inner with the given fault plan. speed optionally slows rank i's
+// computation by speed[i] (1.0 when the slice is short or the entry is
+// zero); onFault, if non-nil, is called on the dying rank's own goroutine at
+// the moment of failure, before the fault is announced — the machine layer
+// uses it to wipe the rank's local store.
+func New(inner transport.Transport, plan []Fault, speed []float64, onFault func(rank int)) (*Transport, error) {
+	t := &Transport{
+		inner:   inner,
+		faults:  map[string]map[int]map[int]bool{},
+		speed:   speed,
+		onFault: onFault,
+	}
+	for _, f := range plan {
+		if f.Proc < 0 || f.Proc >= inner.P() {
+			return nil, fmt.Errorf("faultinject: fault for nonexistent processor %d", f.Proc)
+		}
+		if t.faults[f.Phase] == nil {
+			t.faults[f.Phase] = map[int]map[int]bool{}
+		}
+		if t.faults[f.Phase][f.Hit] == nil {
+			t.faults[f.Phase][f.Hit] = map[int]bool{}
+		}
+		t.faults[f.Phase][f.Hit][f.Proc] = true
+	}
+	return t, nil
+}
+
+// Events returns every fault injected so far, in injection order.
+func (t *Transport) Events() []transport.FaultEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]transport.FaultEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// P implements transport.Transport.
+func (t *Transport) P() int { return t.inner.P() }
+
+// Open implements transport.Transport.
+func (t *Transport) Open(ctx context.Context, rank int) (transport.Endpoint, error) {
+	ep, err := t.inner.Open(ctx, rank)
+	if err != nil {
+		return nil, err
+	}
+	sp := 1.0
+	if rank < len(t.speed) && t.speed[rank] > 0 {
+		sp = t.speed[rank]
+	}
+	return &Endpoint{inner: ep, t: t, speed: sp, hits: map[string]int{}}, nil
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// Endpoint injects this rank's scheduled faults and delay factor.
+type Endpoint struct {
+	inner transport.Endpoint
+	t     *Transport
+	speed float64
+	// hits counts this rank's crossings per phase name. Per-endpoint and
+	// phase-keyed, so the lookup allocates nothing (the seed simulator
+	// built a fmt.Sprintf("%s#%d", phase, rank) key into one shared map
+	// on every crossing).
+	hits map[string]int
+}
+
+// Rank implements transport.Endpoint.
+func (ep *Endpoint) Rank() int { return ep.inner.Rank() }
+
+// P implements transport.Endpoint.
+func (ep *Endpoint) P() int { return ep.inner.P() }
+
+// Send implements transport.Endpoint.
+func (ep *Endpoint) Send(to int, tag string, payload transport.Payload) error {
+	return ep.inner.Send(to, tag, payload)
+}
+
+// Recv implements transport.Endpoint.
+func (ep *Endpoint) Recv(from int, tag string) (transport.Payload, error) {
+	return ep.inner.Recv(from, tag)
+}
+
+// RecvDeadline implements transport.Endpoint.
+func (ep *Endpoint) RecvDeadline(from int, tag string, deadline float64) (transport.Payload, bool, error) {
+	return ep.inner.RecvDeadline(from, tag, deadline)
+}
+
+// Barrier checks whether this rank is scheduled to die at this crossing of
+// phase; if so it fires OnFault (state loss), records the event, and adds it
+// to the announcements every participant will receive from the rendezvous.
+func (ep *Endpoint) Barrier(phase string, local []transport.FaultEvent) ([]transport.FaultEvent, error) {
+	hit := ep.hits[phase]
+	ep.hits[phase] = hit + 1
+	if byHit, ok := ep.t.faults[phase]; ok {
+		if ranks, ok := byHit[hit]; ok && ranks[ep.inner.Rank()] {
+			ev := transport.FaultEvent{Proc: ep.inner.Rank(), Phase: phase}
+			if ep.t.onFault != nil {
+				ep.t.onFault(ev.Proc)
+			}
+			ep.t.mu.Lock()
+			ep.t.events = append(ep.t.events, ev)
+			ep.t.mu.Unlock()
+			local = append(local, ev)
+		}
+	}
+	return ep.inner.Barrier(phase, local)
+}
+
+// Now implements transport.Endpoint.
+func (ep *Endpoint) Now() float64 { return ep.inner.Now() }
+
+// Elapse implements transport.Endpoint. Communication charges pass through
+// unscaled: delay faults slow computation, not the network.
+func (ep *Endpoint) Elapse(units float64) { ep.inner.Elapse(units) }
+
+// ElapseWork stretches computation time by this rank's speed factor.
+func (ep *Endpoint) ElapseWork(units float64) { ep.inner.ElapseWork(units * ep.speed) }
+
+// Done implements transport.Endpoint.
+func (ep *Endpoint) Done() { ep.inner.Done() }

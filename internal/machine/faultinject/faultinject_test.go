@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/machine/simnet"
+	"repro/internal/machine/transport"
+)
+
+func open(t *testing.T, p int, plan []Fault, speed []float64, onFault func(int)) (*Transport, []transport.Endpoint) {
+	t.Helper()
+	inner, err := simnet.New(simnet.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(inner, plan, speed, onFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]transport.Endpoint, p)
+	for i := range eps {
+		if eps[i], err = tr.Open(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, eps
+}
+
+func TestValidatesPlan(t *testing.T) {
+	inner, err := simnet.New(simnet.Config{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(inner, []Fault{{Proc: 5, Phase: "x"}}, nil, nil); err == nil {
+		t.Fatal("fault for nonexistent rank should fail")
+	}
+}
+
+// barrierAll drives every endpoint through one barrier of the given phase
+// and returns rank 0's merged event list.
+func barrierAll(t *testing.T, eps []transport.Endpoint, phase string) []transport.FaultEvent {
+	t.Helper()
+	var wg sync.WaitGroup
+	out := make([][]transport.FaultEvent, len(eps))
+	errs := make([]error, len(eps))
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep transport.Endpoint) {
+			defer wg.Done()
+			out[i], errs[i] = ep.Barrier(phase, nil)
+		}(i, ep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out[0]
+}
+
+func TestInjectsAtScheduledHit(t *testing.T) {
+	var killed []int
+	tr, eps := open(t, 3, []Fault{{Proc: 1, Phase: "mul", Hit: 1}}, nil, func(rank int) {
+		killed = append(killed, rank)
+	})
+	if ev := barrierAll(t, eps, "mul"); len(ev) != 0 {
+		t.Fatalf("first crossing injected %v", ev)
+	}
+	// A different phase must not advance the "mul" hit counter.
+	if ev := barrierAll(t, eps, "other"); len(ev) != 0 {
+		t.Fatalf("other phase injected %v", ev)
+	}
+	ev := barrierAll(t, eps, "mul")
+	if len(ev) != 1 || ev[0].Proc != 1 || ev[0].Phase != "mul" {
+		t.Fatalf("second crossing events = %v", ev)
+	}
+	if len(killed) != 1 || killed[0] != 1 {
+		t.Fatalf("onFault calls = %v", killed)
+	}
+	if got := tr.Events(); len(got) != 1 || got[0].Proc != 1 {
+		t.Fatalf("transport event log = %v", got)
+	}
+}
+
+func TestAllRanksSeeTheFault(t *testing.T) {
+	_, eps := open(t, 4, []Fault{{Proc: 2, Phase: "x"}}, nil, nil)
+	var wg sync.WaitGroup
+	out := make([][]transport.FaultEvent, len(eps))
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep transport.Endpoint) {
+			defer wg.Done()
+			out[i], _ = ep.Barrier("x", nil)
+		}(i, ep)
+	}
+	wg.Wait()
+	for i, ev := range out {
+		if len(ev) != 1 || ev[0].Proc != 2 {
+			t.Errorf("rank %d saw %v", i, ev)
+		}
+	}
+}
+
+func TestSpeedFactorScalesWorkOnly(t *testing.T) {
+	_, eps := open(t, 2, nil, []float64{1, 10}, nil)
+	eps[0].ElapseWork(100)
+	eps[1].ElapseWork(100)
+	eps[1].Elapse(5) // communication charge: never scaled
+	if now := eps[0].Now(); now != 100 {
+		t.Errorf("rank 0 clock = %v", now)
+	}
+	if now := eps[1].Now(); now != 1005 {
+		t.Errorf("rank 1 clock = %v, want 1005 (10×work + unscaled comm)", now)
+	}
+}

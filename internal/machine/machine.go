@@ -1,15 +1,28 @@
-// Package machine simulates the paper's parallel machine model
+// Package machine realizes the paper's parallel machine model
 // (Section 2.1): P identical processors, each with a local memory of M
 // words, connected by a peer-to-peer network. The three cost measures —
 // F (arithmetic operations), BW (words communicated), and L (messages) —
 // are counted along the critical path, and the total runtime is modeled as
 // C = α·L + β·BW + γ·F.
 //
-// Each processor runs as a goroutine executing an SPMD program. Messages
-// travel over per-pair FIFO channels; every processor carries a virtual
-// clock that advances with local work and message transfers, so the maximum
-// clock at the end of a run is the critical-path runtime under the α/β/γ
-// model, independent of real scheduling.
+// Since PR 5 the package is a facade over a layered stack (see
+// internal/machine/transport): algorithms talk to Proc, Proc drives a
+// costacct endpoint (F/BW/L accounting), which drives a faultinject
+// endpoint (fail-stop deaths at barriers, delay-fault speed factors), which
+// drives one of two interchangeable transport backends —
+//
+//   - simnet (Config.Backend == BackendSim, the default): the deterministic
+//     virtual-clock simulator. Each processor carries a virtual clock that
+//     advances with local work and message transfers, so the maximum clock
+//     at the end of a run is the critical-path runtime under the α/β/γ
+//     model, independent of real scheduling.
+//   - wallnet (Config.Backend == BackendWall): an in-process wall-clock
+//     backend with real deadlines and context cancellation, for wall-clock
+//     benchmarking and real-time straggler experiments.
+//
+// Because accounting is a decorator above the backend, F/BW/L counts are
+// identical on both backends; only Time changes meaning (virtual cost units
+// versus real seconds or dilated units).
 //
 // Hard faults (Section 2.1) are injected at named barriers: a processor
 // scheduled to fail "at phase X" loses its entire local store when it
@@ -22,19 +35,39 @@
 package machine
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bigint"
+	"repro/internal/machine/costacct"
+	"repro/internal/machine/faultinject"
+	"repro/internal/machine/simnet"
+	"repro/internal/machine/transport"
+	"repro/internal/machine/wallnet"
 )
 
-// Config describes the simulated machine.
+// Backend selects the transport realization under the machine API.
+type Backend string
+
+const (
+	// BackendSim is the deterministic virtual-clock simulator (the default).
+	BackendSim Backend = "sim"
+	// BackendWall is the in-process wall-clock backend: real deadlines,
+	// context cancellation, Time in seconds (or dilated model units).
+	BackendWall Backend = "wall"
+)
+
+// Config describes the machine.
 type Config struct {
 	P int // number of processors (excluding none; code processors included by caller)
+
+	// Backend selects the transport realization; empty means BackendSim.
+	// Algorithm code never branches on this — the choice is invisible
+	// above the Proc API.
+	Backend Backend
 
 	// MemoryWords is the per-processor memory capacity M in 64-bit words;
 	// 0 means unlimited. Exceeding it makes Store return an error, so
@@ -60,11 +93,23 @@ type Config struct {
 	// SpeedFactors optionally slows processors down: processor i's
 	// arithmetic takes γ·SpeedFactors[i] per word-operation (1.0 when nil
 	// or zero). This models *delay faults* — the paper's third fault
-	// category — in virtual time only; real execution speed is unchanged.
+	// category. On the sim backend the delay exists in virtual time only;
+	// on the wall backend with WallTimeDilation set, slow ranks really do
+	// finish later.
 	SpeedFactors []float64
+
+	// WallTimeDilation applies to BackendWall only: the real duration of
+	// one model unit. When set, cost charges are slept off at that rate
+	// and clocks read in model units, so virtual-machine experiments
+	// (straggler slack, speed factors) transfer to the wall clock with
+	// their ratios intact. Zero means free-running with clocks in seconds.
+	WallTimeDilation time.Duration
 }
 
 func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = BackendSim
+	}
 	if c.Alpha == 0 {
 		c.Alpha = 1000
 	}
@@ -92,16 +137,11 @@ type Fault struct {
 }
 
 // FaultEvent reports an injected fault to the surviving processors.
-type FaultEvent struct {
-	Proc  int
-	Phase string
-}
+type FaultEvent = transport.FaultEvent
 
 // Payload is anything a message can carry; Words is its size in the model's
 // word units and is what the BW accounting charges.
-type Payload interface {
-	Words() int64
-}
+type Payload = transport.Payload
 
 // Ints is a payload of big integers; its word count is the total limb count
 // (at least one word per integer, so zeros still occupy a word on the wire).
@@ -126,13 +166,6 @@ type Meta struct{ Value int }
 // Words implements Payload.
 func (Meta) Words() int64 { return 1 }
 
-type message struct {
-	from    int
-	tag     string
-	payload Payload
-	arrive  float64 // sender clock after the transfer completed
-}
-
 // Stats are one processor's accumulated costs.
 type Stats struct {
 	Flops     int64   // F: word-level arithmetic operations
@@ -140,7 +173,7 @@ type Stats struct {
 	RecvWords int64   // words received
 	Messages  int64   // L: messages sent
 	PeakWords int64   // peak local-store occupancy
-	Clock     float64 // virtual completion time
+	Clock     float64 // completion time (virtual units on sim, model units/seconds on wall)
 	Faults    int     // times this rank was killed and replaced
 }
 
@@ -164,7 +197,7 @@ type Report struct {
 	F       int64   // max flops over processors
 	BW      int64   // max words sent over processors
 	L       int64   // max messages over processors
-	Time    float64 // max virtual clock = modeled runtime C
+	Time    float64 // max clock = modeled runtime C (sim) or elapsed wall time (wall)
 	TotalF  int64
 	TotalBW int64
 	TotalL  int64
@@ -173,66 +206,83 @@ type Report struct {
 	Marks [][]MarkRecord
 }
 
-// Machine is a simulated P-processor machine. Create with New, run one
-// program with Run; a Machine is single-use.
+// Machine is a P-processor machine over a pluggable transport. Create with
+// New (or NewWithTransport for a custom backend), run one program with Run;
+// a Machine is single-use.
 type Machine struct {
 	cfg   Config
 	procs []*Proc
 
-	// chanSlots[from*P+to] holds the per-pair FIFO, created lazily on first
-	// use: the slot is an atomic pointer for the contended fast path, with
-	// chanMu serializing only the one-time creation of each channel.
-	chanSlots []atomic.Pointer[chan message]
-	chanMu    sync.Mutex
-
-	faults map[string]map[int]map[int]bool // phase -> hit -> proc set
-
-	mu        sync.Mutex
-	active    int
-	barGen    int
-	cur       *barState
-	done      map[int]*barState
-	barCond   *sync.Cond
-	barHits   map[string]int
-	allEvents []FaultEvent
+	base transport.Transport    // the backend, for backend-specific hooks
+	fi   *faultinject.Transport // fault layer, for the event log
+	acct *costacct.Transport    // accounting layer, endpoints come from here
 }
 
-// barState is the per-generation barrier rendezvous state; keeping it per
-// generation prevents a fast processor's next barrier from clobbering the
-// event list a slow waiter has not copied yet.
-type barState struct {
-	count   int // processors arrived
-	readers int // processors yet to consume the released state
-	events  []FaultEvent
-	max     float64
-}
-
-// New creates a machine with the given configuration and fault plan.
+// New creates a machine with the given configuration and fault plan, on the
+// backend cfg.Backend selects.
 func New(cfg Config, plan []Fault) (*Machine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("machine: need P >= 1, got %d", cfg.P)
 	}
-	m := &Machine{
-		cfg:     cfg,
-		faults:  map[string]map[int]map[int]bool{},
-		barHits: map[string]int{},
-		done:    map[int]*barState{},
+	var base transport.Transport
+	var err error
+	switch cfg.Backend {
+	case BackendSim:
+		base, err = simnet.New(simnet.Config{
+			P:           cfg.P,
+			ChannelCap:  cfg.ChannelCap,
+			RecvTimeout: cfg.RecvTimeout,
+		})
+	case BackendWall:
+		base, err = wallnet.New(wallnet.Config{
+			P:            cfg.P,
+			ChannelCap:   cfg.ChannelCap,
+			RecvTimeout:  cfg.RecvTimeout,
+			TimeDilation: cfg.WallTimeDilation,
+		})
+	default:
+		err = fmt.Errorf("machine: unknown backend %q", cfg.Backend)
 	}
-	m.barCond = sync.NewCond(&m.mu)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTransport(cfg, plan, base)
+}
+
+// NewWithTransport creates a machine over a caller-supplied backend,
+// layering fault injection and cost accounting on top of it. cfg.Backend is
+// ignored; everything else applies as usual.
+func NewWithTransport(cfg Config, plan []Fault, base transport.Transport) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if base.P() != cfg.P {
+		return nil, fmt.Errorf("machine: transport has P=%d, config has P=%d", base.P(), cfg.P)
+	}
+	m := &Machine{cfg: cfg, base: base}
 	for _, f := range plan {
 		if f.Proc < 0 || f.Proc >= cfg.P {
 			return nil, fmt.Errorf("machine: fault for nonexistent processor %d", f.Proc)
 		}
-		if m.faults[f.Phase] == nil {
-			m.faults[f.Phase] = map[int]map[int]bool{}
-		}
-		if m.faults[f.Phase][f.Hit] == nil {
-			m.faults[f.Phase][f.Hit] = map[int]bool{}
-		}
-		m.faults[f.Phase][f.Hit][f.Proc] = true
 	}
-	m.chanSlots = make([]atomic.Pointer[chan message], cfg.P*cfg.P)
+	fiPlan := make([]faultinject.Fault, len(plan))
+	for i, f := range plan {
+		fiPlan[i] = faultinject.Fault{Proc: f.Proc, Phase: f.Phase, Hit: f.Hit}
+	}
+	// Fail-stop: all local data is lost; the replacement starts empty at
+	// the same rank. The callback runs on the dying rank's own goroutine
+	// (inside its Barrier call), so touching its store is race-free.
+	onFault := func(rank int) {
+		p := m.procs[rank]
+		p.store = map[string]storedValue{}
+		p.memWords = 0
+		p.faultCount++
+	}
+	fi, err := faultinject.New(base, fiPlan, cfg.SpeedFactors, onFault)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	m.fi = fi
+	m.acct = costacct.New(fi, costacct.Model{Alpha: cfg.Alpha, Beta: cfg.Beta, Gamma: cfg.Gamma})
 	m.procs = make([]*Proc, cfg.P)
 	for i := range m.procs {
 		m.procs[i] = &Proc{id: i, m: m, store: map[string]storedValue{}}
@@ -243,75 +293,64 @@ func New(cfg Config, plan []Fault) (*Machine, error) {
 // P returns the processor count.
 func (m *Machine) P() int { return m.cfg.P }
 
-// chanFor returns the FIFO from processor `from` to processor `to`,
-// creating it on first use. Both endpoints may race to create the same
-// pair's channel; the mutex-guarded double-check makes the winner's channel
-// the one both see.
-func (m *Machine) chanFor(from, to int) chan message {
-	slot := &m.chanSlots[from*m.cfg.P+to]
-	if c := slot.Load(); c != nil {
-		return *c
-	}
-	m.chanMu.Lock()
-	defer m.chanMu.Unlock()
-	if c := slot.Load(); c != nil {
-		return *c
-	}
-	ch := make(chan message, m.cfg.ChannelCap)
-	slot.Store(&ch)
-	return ch
-}
-
-// allocatedChannels counts the per-pair channels created so far (test hook
-// for the lazy-allocation contract; call only while the machine is quiescent).
+// allocatedChannels counts the backend's lazily created per-pair channels
+// (test hook for the lazy-allocation contract; call only while the machine
+// is quiescent). Returns -1 for backends without the hook.
 func (m *Machine) allocatedChannels() int {
-	n := 0
-	for i := range m.chanSlots {
-		if m.chanSlots[i].Load() != nil {
-			n++
-		}
+	if h, ok := m.base.(interface{ AllocatedChannels() int }); ok {
+		return h.AllocatedChannels()
 	}
-	return n
+	return -1
 }
 
 // Run executes program on all P processors and returns the cost report.
 // The first processor error (if any) aborts with that error.
 func (m *Machine) Run(program func(*Proc) error) (*Report, error) {
-	m.mu.Lock()
-	m.active = m.cfg.P
-	m.mu.Unlock()
+	return m.RunContext(context.Background(), program)
+}
+
+// RunContext is Run under a context: on backends that support cancellation
+// (wallnet), canceling ctx aborts blocked Recv/Barrier calls so the run
+// unwinds with an error instead of waiting out the protocol timeout.
+func (m *Machine) RunContext(ctx context.Context, program func(*Proc) error) (*Report, error) {
+	for _, p := range m.procs {
+		ep, err := m.acct.OpenCounted(ctx, p.id)
+		if err != nil {
+			return nil, err
+		}
+		p.ep = ep
+	}
 
 	errs := make([]error, m.cfg.P)
 	var wg sync.WaitGroup
 	for i := range m.procs {
 		wg.Add(1)
-		//ftlint:allow poolspawn the simulator IS the machine: one goroutine per simulated processor, bounded by cfg.P, not algorithm fan-out
+		//ftlint:allow poolspawn the machine runtime IS the pool: one goroutine per simulated processor, bounded by cfg.P, not algorithm fan-out
 		go func(p *Proc) {
 			defer wg.Done()
 			defer func() {
-				m.mu.Lock()
-				m.active--
-				m.maybeRelease()
-				m.barCond.Broadcast()
-				m.mu.Unlock()
+				p.exitClock = p.ep.Now()
+				p.ep.Done()
 			}()
 			errs[p.id] = program(p)
 		}(m.procs[i])
 	}
 	wg.Wait()
+	defer m.base.Close()
 
-	rep := &Report{PerProc: make([]Stats, m.cfg.P), Faults: m.allEvents, Marks: make([][]MarkRecord, m.cfg.P)}
+	rep := &Report{PerProc: make([]Stats, m.cfg.P), Faults: m.fi.Events(), Marks: make([][]MarkRecord, m.cfg.P)}
 	for i, p := range m.procs {
 		rep.Marks[i] = p.marks
 	}
 	for i, p := range m.procs {
+		c := p.ep.Stats()
 		s := Stats{
-			Flops:     p.flops,
-			SentWords: p.sentWords,
-			RecvWords: p.recvWords,
-			Messages:  p.messages,
+			Flops:     c.Flops,
+			SentWords: c.SentWords,
+			RecvWords: c.RecvWords,
+			Messages:  c.Messages,
 			PeakWords: p.peakWords,
-			Clock:     p.clock,
+			Clock:     p.exitClock,
 			Faults:    p.faultCount,
 		}
 		rep.PerProc[i] = s
@@ -359,20 +398,19 @@ type storedValue struct {
 	words int64
 }
 
-// Proc is one simulated processor; its methods must only be called from its
-// own program goroutine.
+// Proc is one processor of the machine; its methods must only be called
+// from its own program goroutine. It owns the local store (the part of the
+// model faults erase) and delegates communication, time, and accounting to
+// its endpoint stack.
 type Proc struct {
 	id int
 	m  *Machine
+	ep *costacct.Endpoint
 
-	clock      float64
-	flops      int64
-	sentWords  int64
-	recvWords  int64
-	messages   int64
 	memWords   int64
 	peakWords  int64
 	faultCount int
+	exitClock  float64 // Clock() captured when the program returned
 
 	store map[string]storedValue
 	marks []MarkRecord
@@ -381,12 +419,13 @@ type Proc struct {
 // Mark records a named snapshot of the processor's counters; the run report
 // exposes all snapshots for per-phase cost attribution.
 func (p *Proc) Mark(label string) {
+	c := p.ep.Stats()
 	p.marks = append(p.marks, MarkRecord{
 		Label:     label,
-		Clock:     p.clock,
-		Flops:     p.flops,
-		SentWords: p.sentWords,
-		Messages:  p.messages,
+		Clock:     p.ep.Now(),
+		Flops:     c.Flops,
+		SentWords: c.SentWords,
+		Messages:  c.Messages,
 	})
 }
 
@@ -396,8 +435,8 @@ func (p *Proc) ID() int { return p.id }
 // P returns the machine's processor count.
 func (p *Proc) P() int { return p.m.cfg.P }
 
-// Clock returns the processor's current virtual time.
-func (p *Proc) Clock() float64 { return p.clock }
+// Clock returns the processor's current time in model units.
+func (p *Proc) Clock() float64 { return p.ep.Now() }
 
 // FaultCount returns how many times this rank has been killed and replaced.
 func (p *Proc) FaultCount() int { return p.faultCount }
@@ -407,12 +446,7 @@ func (p *Proc) Work(n int64) {
 	if n < 0 {
 		panic("machine: negative work")
 	}
-	p.flops += n
-	speed := 1.0
-	if sf := p.m.cfg.SpeedFactors; p.id < len(sf) && sf[p.id] > 0 {
-		speed = sf[p.id]
-	}
-	p.clock += p.m.cfg.Gamma * float64(n) * speed
+	p.ep.Work(n)
 }
 
 // Send transmits payload to processor `to` with a protocol tag. It charges
@@ -423,17 +457,7 @@ func (p *Proc) Send(to int, tag string, payload Payload) error {
 	if to < 0 || to >= p.m.cfg.P {
 		return fmt.Errorf("machine: proc %d sending to nonexistent proc %d", p.id, to)
 	}
-	w := payload.Words()
-	p.messages++
-	p.sentWords += w
-	p.clock += p.m.cfg.Alpha + p.m.cfg.Beta*float64(w)
-	msg := message{from: p.id, tag: tag, payload: payload, arrive: p.clock}
-	select {
-	case p.m.chanFor(p.id, to) <- msg:
-		return nil
-	default:
-		return fmt.Errorf("machine: channel %d->%d full (protocol error)", p.id, to)
-	}
+	return p.ep.Send(to, tag, payload)
 }
 
 // Recv receives the next message from processor `from`, asserting the
@@ -443,51 +467,19 @@ func (p *Proc) Recv(from int, tag string) (Payload, error) {
 	if from < 0 || from >= p.m.cfg.P {
 		return nil, fmt.Errorf("machine: proc %d receiving from nonexistent proc %d", p.id, from)
 	}
-	select {
-	case msg := <-p.m.chanFor(from, p.id):
-		if msg.tag != tag {
-			return nil, fmt.Errorf("machine: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.tag)
-		}
-		w := msg.payload.Words()
-		p.recvWords += w
-		if msg.arrive > p.clock {
-			p.clock = msg.arrive
-		}
-		return msg.payload, nil
-	case <-time.After(p.m.cfg.RecvTimeout):
-		return nil, fmt.Errorf("machine: proc %d timed out waiting for tag %q from %d", p.id, tag, from)
-	}
+	return p.ep.Recv(from, tag)
 }
 
 // RecvDeadline receives the next message from `from` but accepts it only if
-// its virtual arrival time is at or before the deadline; a later message is
-// discarded (the transport drops what the receiver stopped listening for)
-// and the receiver's clock advances to the deadline instead. This is the
-// timeout primitive behind straggler (delay-fault) mitigation: proceed at
-// the deadline with whoever reported in time.
+// it arrives at or before the deadline (in the clock's model units); a late
+// message is not accepted and the clock advances to the deadline instead.
+// This is the timeout primitive behind straggler (delay-fault) mitigation:
+// proceed at the deadline with whoever reported in time.
 func (p *Proc) RecvDeadline(from int, tag string, deadline float64) (Payload, bool, error) {
 	if from < 0 || from >= p.m.cfg.P {
 		return nil, false, fmt.Errorf("machine: proc %d receiving from nonexistent proc %d", p.id, from)
 	}
-	select {
-	case msg := <-p.m.chanFor(from, p.id):
-		if msg.tag != tag {
-			return nil, false, fmt.Errorf("machine: proc %d expected tag %q from %d, got %q", p.id, tag, from, msg.tag)
-		}
-		if msg.arrive > deadline {
-			if deadline > p.clock {
-				p.clock = deadline
-			}
-			return nil, false, nil
-		}
-		p.recvWords += msg.payload.Words()
-		if msg.arrive > p.clock {
-			p.clock = msg.arrive
-		}
-		return msg.payload, true, nil
-	case <-time.After(p.m.cfg.RecvTimeout):
-		return nil, false, fmt.Errorf("machine: proc %d timed out waiting for tag %q from %d", p.id, tag, from)
-	}
+	return p.ep.RecvDeadline(from, tag, deadline)
 }
 
 // RecvInts is Recv specialized to the Ints payload type.
@@ -570,76 +562,8 @@ func (p *Proc) MemoryWords() int64 { return p.memWords }
 // rank: its store has been wiped and it continues with empty memory.
 //
 // The barrier charges ⌈log₂P⌉ messages of one word (a tree barrier) and
-// synchronizes virtual clocks to the barrier's completion time.
-func (p *Proc) Barrier(phase string) []FaultEvent {
-	m := p.m
-	logP := int64(math.Ceil(math.Log2(float64(m.cfg.P))))
-	if logP < 1 {
-		logP = 1
-	}
-	p.messages += logP
-	p.sentWords += logP
-	p.clock += float64(logP) * (m.cfg.Alpha + m.cfg.Beta)
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	gen := m.barGen
-	if m.cur == nil {
-		m.cur = &barState{}
-	}
-	m.cur.count++
-	if p.clock > m.cur.max {
-		m.cur.max = p.clock
-	}
-
-	// Inject this processor's own scheduled fault, if any.
-	hit := m.barHits[barKey(phase, p.id)]
-	m.barHits[barKey(phase, p.id)] = hit + 1
-	if byHit, ok := m.faults[phase]; ok {
-		if procs, ok := byHit[hit]; ok && procs[p.id] {
-			ev := FaultEvent{Proc: p.id, Phase: phase}
-			m.cur.events = append(m.cur.events, ev)
-			m.allEvents = append(m.allEvents, ev)
-			// Fail-stop: all local data is lost; the replacement starts
-			// empty at the same rank.
-			p.store = map[string]storedValue{}
-			p.memWords = 0
-			p.faultCount++
-		}
-	}
-
-	m.maybeRelease()
-	for m.barGen == gen {
-		m.barCond.Wait()
-	}
-	st := m.done[gen]
-	if st.max > p.clock {
-		p.clock = st.max
-	}
-	events := make([]FaultEvent, len(st.events))
-	copy(events, st.events)
-	st.readers--
-	if st.readers == 0 {
-		delete(m.done, gen)
-	}
-	return events
+// synchronizes clocks to the barrier's completion time. The error return is
+// the wall backend's cancellation path; on the sim backend it is always nil.
+func (p *Proc) Barrier(phase string) ([]FaultEvent, error) {
+	return p.ep.Barrier(phase, nil)
 }
-
-// maybeRelease completes the current barrier generation once every active
-// processor has arrived. Called with m.mu held, from Barrier and from the
-// active-count decrement when a processor exits mid-barrier.
-func (m *Machine) maybeRelease() {
-	if m.cur == nil || m.cur.count < m.active {
-		return
-	}
-	st := m.cur
-	m.cur = nil
-	sort.Slice(st.events, func(i, j int) bool { return st.events[i].Proc < st.events[j].Proc })
-	st.readers = st.count
-	m.done[m.barGen] = st
-	m.barGen++
-	m.barCond.Broadcast()
-}
-
-func barKey(phase string, proc int) string { return fmt.Sprintf("%s#%d", phase, proc) }

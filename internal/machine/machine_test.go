@@ -204,7 +204,9 @@ func TestBarrierSynchronizesClocks(t *testing.T) {
 	m, _ := New(Config{P: 3, Alpha: 1, Beta: 1, Gamma: 1}, nil)
 	rep, err := m.Run(func(p *Proc) error {
 		p.Work(int64(p.ID()) * 100) // staggered work
-		p.Barrier("sync")
+		if _, err := p.Barrier("sync"); err != nil {
+			return err
+		}
 		if p.Clock() < 200 {
 			return fmt.Errorf("proc %d clock %v below slowest worker", p.ID(), p.Clock())
 		}
@@ -226,7 +228,10 @@ func TestFaultInjection(t *testing.T) {
 		if err := p.Store("data", Ints{bigint.FromInt64(int64(p.ID()))}); err != nil {
 			return err
 		}
-		events := p.Barrier("mul")
+		events, err := p.Barrier("mul")
+		if err != nil {
+			return err
+		}
 		if len(events) != 1 || events[0].Proc != 1 {
 			return fmt.Errorf("proc %d saw events %v", p.ID(), events)
 		}
@@ -257,11 +262,17 @@ func TestFaultHitCounting(t *testing.T) {
 	plan := []Fault{{Proc: 0, Phase: "step", Hit: 1}}
 	m, _ := New(Config{P: 2}, plan)
 	_, err := m.Run(func(p *Proc) error {
-		ev1 := p.Barrier("step")
+		ev1, err := p.Barrier("step")
+		if err != nil {
+			return err
+		}
 		if len(ev1) != 0 {
 			return fmt.Errorf("unexpected fault at first hit: %v", ev1)
 		}
-		ev2 := p.Barrier("step")
+		ev2, err := p.Barrier("step")
+		if err != nil {
+			return err
+		}
 		if len(ev2) != 1 || ev2[0].Proc != 0 {
 			return fmt.Errorf("expected fault at second hit, got %v", ev2)
 		}
@@ -276,7 +287,10 @@ func TestMultipleFaultsSameBarrier(t *testing.T) {
 	plan := []Fault{{Proc: 0, Phase: "x"}, {Proc: 2, Phase: "x"}}
 	m, _ := New(Config{P: 4}, plan)
 	_, err := m.Run(func(p *Proc) error {
-		events := p.Barrier("x")
+		events, err := p.Barrier("x")
+		if err != nil {
+			return err
+		}
 		if len(events) != 2 || events[0].Proc != 0 || events[1].Proc != 2 {
 			return fmt.Errorf("events %v", events)
 		}
@@ -294,8 +308,8 @@ func TestBarrierAfterProcExit(t *testing.T) {
 		if p.ID() == 2 {
 			return nil // leaves immediately
 		}
-		p.Barrier("late")
-		return nil
+		_, err := p.Barrier("late")
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)

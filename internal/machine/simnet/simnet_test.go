@@ -1,0 +1,179 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/machine/transport"
+)
+
+type words int64
+
+func (w words) Words() int64 { return int64(w) }
+
+func open2(t *testing.T, cfg Config) (*Net, transport.Endpoint, transport.Endpoint) {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := n.Open(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := n.Open(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, e0, e1
+}
+
+func TestClockStampsAndRecvSync(t *testing.T) {
+	_, e0, e1 := open2(t, Config{P: 2})
+	e0.Elapse(50)
+	if err := e0.Send(1, "x", words(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e1.Recv(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(words) != 3 {
+		t.Errorf("payload = %v", got)
+	}
+	// The receiver's clock jumps to the sender's stamp, not beyond.
+	if e1.Now() != 50 {
+		t.Errorf("receiver clock = %v, want 50", e1.Now())
+	}
+	// A receiver already past the stamp keeps its own clock.
+	e0.Elapse(10) // clock 60
+	if err := e0.Send(1, "y", words(1)); err != nil {
+		t.Fatal(err)
+	}
+	e1.Elapse(100) // clock 150
+	if _, err := e1.Recv(0, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Now() != 150 {
+		t.Errorf("receiver clock = %v, want 150", e1.Now())
+	}
+}
+
+func TestDeadlineDropsLateMessage(t *testing.T) {
+	_, e0, e1 := open2(t, Config{P: 2, RecvTimeout: 50 * time.Millisecond})
+	e0.Elapse(700) // stamp after the deadline
+	if err := e0.Send(1, "d", words(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := e1.RecvDeadline(0, "d", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("late message should be rejected")
+	}
+	if e1.Now() != 500 {
+		t.Errorf("clock should advance to the deadline, got %v", e1.Now())
+	}
+	// The late message was consumed, not left queued.
+	if _, err := e1.Recv(0, "d"); err == nil {
+		t.Fatal("expected timeout: the late message must have been dropped")
+	}
+	_ = e0
+}
+
+func TestFullChannelIsProtocolError(t *testing.T) {
+	_, e0, _ := open2(t, Config{P: 2, ChannelCap: 1})
+	if err := e0.Send(1, "x", words(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e0.Send(1, "x", words(1)); err == nil {
+		t.Fatal("second send into cap-1 channel should fail, not block")
+	}
+}
+
+func TestBarrierMergesAndSorts(t *testing.T) {
+	n, e0, e1 := open2(t, Config{P: 2})
+	type out struct {
+		ev  []transport.FaultEvent
+		err error
+	}
+	ch := make(chan out, 2)
+	go func() {
+		ev, err := e1.Barrier("x", []transport.FaultEvent{{Proc: 1, Phase: "x"}})
+		ch <- out{ev, err}
+	}()
+	ev, err := e0.Barrier("x", []transport.FaultEvent{{Proc: 0, Phase: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := <-ch
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	for _, got := range [][]transport.FaultEvent{ev, o.ev} {
+		if len(got) != 2 || got[0].Proc != 0 || got[1].Proc != 1 {
+			t.Errorf("merged events = %v, want sorted [0 1]", got)
+		}
+	}
+	_ = n
+}
+
+func TestDoneReleasesBarrier(t *testing.T) {
+	_, e0, e1 := open2(t, Config{P: 2})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e0.Barrier("late", nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e1.Done() // rank 1 exits without reaching the barrier
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier not released by Done")
+	}
+}
+
+func TestContextCancelAbortsRecv(t *testing.T) {
+	n, err := New(Config{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e1, err := n.Open(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e1.Recv(0, "never")
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("expected cancellation error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv not aborted by cancel")
+	}
+}
+
+func TestLazyChannels(t *testing.T) {
+	n, e0, _ := open2(t, Config{P: 8})
+	if n.AllocatedChannels() != 0 {
+		t.Fatalf("allocated %d channels before any send", n.AllocatedChannels())
+	}
+	if err := e0.Send(1, "x", words(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n.AllocatedChannels() != 1 {
+		t.Fatalf("allocated %d channels after one pair used", n.AllocatedChannels())
+	}
+}

@@ -1,0 +1,96 @@
+// Package transport defines the seam between the paper's algorithms and the
+// machine realization they run on. The algorithm layers (internal/collective,
+// internal/parallel, internal/ftparallel) are written against the concrete
+// machine.Proc API; machine.Proc in turn drives an Endpoint obtained from a
+// Transport, so the same algorithm code runs unmodified on any backend that
+// implements these two interfaces.
+//
+// Two backends live in sibling packages:
+//
+//   - internal/machine/simnet — the deterministic virtual-clock simulator
+//     (the seed implementation, extracted): time is a per-endpoint float64
+//     advanced by Elapse/ElapseWork, and message timing is modeled, not real.
+//   - internal/machine/wallnet — an in-process wall-clock backend: time is
+//     real time.Since(start), deadlines are real deadlines, and
+//     context.Context cancellation aborts blocked Recv/Barrier calls.
+//
+// Cost accounting (F/BW/L) and fault injection are NOT part of a backend:
+// they are decorator transports (internal/machine/costacct,
+// internal/machine/faultinject) that wrap any Transport, so counts are
+// backend-independent by construction.
+package transport
+
+import "context"
+
+// Payload is anything a message can carry; Words is its size in the model's
+// word units and is what the BW accounting charges. It is satisfied by
+// machine.Ints and machine.Meta.
+type Payload interface {
+	Words() int64
+}
+
+// FaultEvent reports an injected fail-stop fault to the surviving
+// processors: rank Proc died (and was replaced in place) at the barrier
+// named Phase.
+type FaultEvent struct {
+	Proc  int
+	Phase string
+}
+
+// Endpoint is one processor's handle on the transport. All methods must be
+// called from that processor's own goroutine only.
+//
+// Time is abstract: Now/Elapse/ElapseWork operate in "model units" whose
+// meaning the backend chooses (virtual cost units on simnet, real seconds —
+// or dilated units — on wallnet). Decorators charge costs by calling Elapse
+// (communication) and ElapseWork (computation); backends that track real
+// time may ignore the units or sleep them off.
+type Endpoint interface {
+	// Rank returns this endpoint's processor rank in [0, P).
+	Rank() int
+	// P returns the transport's processor count.
+	P() int
+
+	// Send transmits payload to rank `to` under a protocol tag.
+	Send(to int, tag string, payload Payload) error
+	// Recv blocks for the next message from rank `from`, asserting the tag.
+	Recv(from int, tag string) (Payload, error)
+	// RecvDeadline is Recv with a deadline in model-time units (absolute,
+	// compared against Now). ok=false means the deadline passed first; the
+	// backend advances Now to at least the deadline before returning.
+	RecvDeadline(from int, tag string, deadline float64) (Payload, bool, error)
+
+	// Barrier blocks until every still-active endpoint has arrived, then
+	// returns the merged, Proc-sorted list of the FaultEvents every
+	// participant contributed via local (the perfect failure detector).
+	// The phase name identifies the barrier for fault injection; the
+	// rendezvous itself is global.
+	Barrier(phase string, local []FaultEvent) ([]FaultEvent, error)
+
+	// Now returns this endpoint's current time in model units.
+	Now() float64
+	// Elapse advances this endpoint's time by units (a communication or
+	// bookkeeping charge).
+	Elapse(units float64)
+	// ElapseWork advances this endpoint's time by units of computation.
+	// It is distinct from Elapse so delay-fault decorators can slow
+	// computation without touching communication charges.
+	ElapseWork(units float64)
+
+	// Done retires the endpoint: it stops participating in barriers (a
+	// barrier already in progress is released as if this endpoint had
+	// arrived). Must be called exactly once, after the program finishes.
+	Done()
+}
+
+// Transport creates endpoints for a P-processor machine run. Implementations
+// are single-use: open each rank once, run, then Close.
+type Transport interface {
+	// P returns the processor count.
+	P() int
+	// Open creates rank's endpoint. The context governs the endpoint's
+	// blocking calls on backends that support cancellation.
+	Open(ctx context.Context, rank int) (Endpoint, error)
+	// Close releases transport resources after the run.
+	Close() error
+}

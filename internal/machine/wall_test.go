@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bigint"
+)
+
+// The wall-clock backend must run the same programs as the simulator with
+// identical F/BW/L accounting; only the meaning of Clock/Time changes.
+
+func TestWallBackendSendRecvCounts(t *testing.T) {
+	m, err := New(Config{P: 2, Backend: BackendWall}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := Ints{bigint.FromInt64(42)}
+	rep, err := m.Run(func(p *Proc) error {
+		if p.ID() == 0 {
+			return p.Send(1, "data", payload)
+		}
+		got, err := p.RecvInts(0, "data")
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || !got[0].Equal(bigint.FromInt64(42)) {
+			return fmt.Errorf("wrong payload: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerProc[0].Messages != 1 || rep.PerProc[0].SentWords != 1 || rep.PerProc[1].RecvWords != 1 {
+		t.Errorf("stats: %+v", rep.PerProc)
+	}
+}
+
+func TestWallBackendFaultInjection(t *testing.T) {
+	plan := []Fault{{Proc: 1, Phase: "mul"}}
+	m, err := New(Config{P: 3, Backend: BackendWall}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(func(p *Proc) error {
+		if err := p.Store("data", Ints{bigint.FromInt64(int64(p.ID()))}); err != nil {
+			return err
+		}
+		events, err := p.Barrier("mul")
+		if err != nil {
+			return err
+		}
+		if len(events) != 1 || events[0].Proc != 1 {
+			return fmt.Errorf("proc %d saw events %v", p.ID(), events)
+		}
+		if p.ID() == 1 {
+			if _, err := p.LoadInts("data"); err == nil {
+				return fmt.Errorf("fault did not wipe store")
+			}
+		} else if _, err := p.LoadInts("data"); err != nil {
+			return fmt.Errorf("survivor lost data: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Faults) != 1 || rep.PerProc[1].Faults != 1 {
+		t.Errorf("report faults = %v, per-proc = %+v", rep.Faults, rep.PerProc[1])
+	}
+}
+
+func TestWallBackendContextCancel(t *testing.T) {
+	m, err := New(Config{P: 2, Backend: BackendWall}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = m.RunContext(ctx, func(p *Proc) error {
+		if p.ID() == 0 {
+			return nil
+		}
+		_, err := p.Recv(0, "never") // nothing will arrive; cancel unblocks
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancel did not abort the blocked recv promptly")
+	}
+}
+
+func TestWallBackendDilationClocks(t *testing.T) {
+	m, err := New(Config{P: 1, Backend: BackendWall, Gamma: 1, WallTimeDilation: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(func(p *Proc) error {
+		p.Work(50) // 50 model units = 50ms of real time
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerProc[0].Flops != 50 {
+		t.Errorf("flops = %d", rep.PerProc[0].Flops)
+	}
+	if rep.Time < 50 {
+		t.Errorf("dilated Time = %v model units, want >= 50", rep.Time)
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	if _, err := New(Config{P: 1, Backend: Backend("quantum")}, nil); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+}
+
+// TestBackendsAgreeOnBarrierProtocol runs a small all-phases program on
+// both backends and checks the accounting matches exactly.
+func TestBackendsAgreeOnCounts(t *testing.T) {
+	program := func(p *Proc) error {
+		p.Work(100 * int64(p.ID()+1))
+		if p.ID() == 0 {
+			if err := p.Send(1, "x", Ints{bigint.FromInt64(7)}); err != nil {
+				return err
+			}
+		} else if _, err := p.RecvInts(0, "x"); err != nil {
+			return err
+		}
+		if _, err := p.Barrier("sync"); err != nil {
+			return err
+		}
+		p.Work(10)
+		return nil
+	}
+	var reports []*Report
+	for _, backend := range []Backend{BackendSim, BackendWall} {
+		m, err := New(Config{P: 2, Backend: backend}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(program)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		reports = append(reports, rep)
+	}
+	sim, wall := reports[0], reports[1]
+	if sim.F != wall.F || sim.BW != wall.BW || sim.L != wall.L ||
+		sim.TotalF != wall.TotalF || sim.TotalBW != wall.TotalBW || sim.TotalL != wall.TotalL {
+		t.Errorf("counts diverge: sim F=%d BW=%d L=%d, wall F=%d BW=%d L=%d",
+			sim.F, sim.BW, sim.L, wall.F, wall.BW, wall.L)
+	}
+}

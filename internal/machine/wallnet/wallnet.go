@@ -1,0 +1,301 @@
+// Package wallnet is the wall-clock in-process transport backend: the same
+// tagged point-to-point protocol as simnet, but time is real. Now() measures
+// time.Since(start), RecvDeadline waits until a real deadline, and
+// context.Context cancellation aborts blocked Send/Recv/Barrier calls —
+// this is the backend that makes wall-clock benchmarking of FT overheads
+// and real-time straggler experiments possible without touching algorithm
+// code.
+//
+// Model units versus real time: with TimeDilation zero (the default) the
+// backend is free-running — Elapse/ElapseWork are no-ops (real computation
+// already costs real time) and one model unit is one second, so deadlines
+// like "Clock()+slack" read as seconds of slack. With TimeDilation set,
+// every model unit charged via Elapse/ElapseWork is slept off at that real
+// duration and Now() converts elapsed real time back into model units, so
+// virtual-machine experiments (straggler slack in cost units, speed-factor
+// delays) transfer to the wall clock with their ratios intact.
+//
+// Unlike simnet, Send applies real backpressure: a full per-pair buffer
+// blocks the sender (under context cancellation) instead of failing, which
+// is how a real network behaves.
+package wallnet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine/transport"
+)
+
+// Config sizes the wall-clock network.
+type Config struct {
+	P int // processor count
+
+	// ChannelCap is the per-pair in-flight message capacity (default 128);
+	// a full buffer blocks the sender rather than erroring. Channels are
+	// allocated lazily per (sender, receiver) pair, as on simnet.
+	ChannelCap int
+
+	// RecvTimeout bounds how long Recv and Barrier wait before declaring
+	// the protocol dead; zero means 30 seconds.
+	RecvTimeout time.Duration
+
+	// TimeDilation is the real duration of one model unit. Zero means
+	// free-running: charges are not slept and Now() is in seconds.
+	TimeDilation time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChannelCap == 0 {
+		c.ChannelCap = 128
+	}
+	if c.RecvTimeout == 0 {
+		c.RecvTimeout = 30 * time.Second
+	}
+	return c
+}
+
+type message struct {
+	from    int
+	tag     string
+	payload transport.Payload
+	at      time.Time // real arrival stamp, for deadline accept/reject
+}
+
+// Net is the wall-clock transport. Create with New; a Net is single-use.
+type Net struct {
+	cfg   Config
+	start time.Time
+
+	chanSlots []atomic.Pointer[chan message]
+	chanMu    sync.Mutex
+
+	mu     sync.Mutex
+	active int
+	cur    *barState
+}
+
+// barState is one barrier generation. Waiters hold the pointer, so release
+// is just closing the channel; events are sorted before the close and read
+// only after it (the close is the happens-before edge).
+type barState struct {
+	arrived  int
+	events   []transport.FaultEvent
+	released chan struct{}
+}
+
+// New creates the wall-clock transport for cfg.P processors. The run's
+// start time (the zero of Now) is stamped here.
+func New(cfg Config) (*Net, error) {
+	cfg = cfg.withDefaults()
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("wallnet: need P >= 1, got %d", cfg.P)
+	}
+	return &Net{
+		cfg:       cfg,
+		start:     time.Now(),
+		chanSlots: make([]atomic.Pointer[chan message], cfg.P*cfg.P),
+		active:    cfg.P,
+	}, nil
+}
+
+// P implements transport.Transport.
+func (n *Net) P() int { return n.cfg.P }
+
+// Open implements transport.Transport. The context cancels blocked
+// Send/Recv/Barrier calls and aborts dilated sleeps.
+func (n *Net) Open(ctx context.Context, rank int) (transport.Endpoint, error) {
+	if rank < 0 || rank >= n.cfg.P {
+		return nil, fmt.Errorf("wallnet: rank %d out of range [0,%d)", rank, n.cfg.P)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &endpoint{n: n, rank: rank, ctx: ctx}, nil
+}
+
+// Close implements transport.Transport.
+func (n *Net) Close() error { return nil }
+
+// AllocatedChannels counts the per-pair channels created so far (test hook;
+// call only while the net is quiescent).
+func (n *Net) AllocatedChannels() int {
+	c := 0
+	for i := range n.chanSlots {
+		if n.chanSlots[i].Load() != nil {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *Net) chanFor(from, to int) chan message {
+	slot := &n.chanSlots[from*n.cfg.P+to]
+	if c := slot.Load(); c != nil {
+		return *c
+	}
+	n.chanMu.Lock()
+	defer n.chanMu.Unlock()
+	if c := slot.Load(); c != nil {
+		return *c
+	}
+	ch := make(chan message, n.cfg.ChannelCap)
+	slot.Store(&ch)
+	return ch
+}
+
+// unit returns the real duration of one model unit.
+func (n *Net) unit() time.Duration {
+	if n.cfg.TimeDilation > 0 {
+		return n.cfg.TimeDilation
+	}
+	return time.Second
+}
+
+// maybeRelease completes the current barrier once every active endpoint has
+// arrived. Called with n.mu held.
+func (n *Net) maybeRelease() {
+	if n.cur == nil || n.cur.arrived < n.active {
+		return
+	}
+	st := n.cur
+	n.cur = nil
+	sort.Slice(st.events, func(i, j int) bool { return st.events[i].Proc < st.events[j].Proc })
+	close(st.released)
+}
+
+type endpoint struct {
+	n    *Net
+	rank int
+	ctx  context.Context
+}
+
+func (ep *endpoint) Rank() int { return ep.rank }
+
+func (ep *endpoint) P() int { return ep.n.cfg.P }
+
+// Now returns elapsed real time in model units (seconds when free-running).
+func (ep *endpoint) Now() float64 {
+	return float64(time.Since(ep.n.start)) / float64(ep.n.unit())
+}
+
+// Elapse sleeps off the charge when dilation is configured; free-running
+// time only advances by actually doing things.
+func (ep *endpoint) Elapse(units float64) {
+	if ep.n.cfg.TimeDilation <= 0 || units <= 0 {
+		return
+	}
+	d := time.Duration(units * float64(ep.n.cfg.TimeDilation))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ep.ctx.Done():
+	}
+}
+
+func (ep *endpoint) ElapseWork(units float64) { ep.Elapse(units) }
+
+// Send blocks when the per-pair buffer is full (real backpressure), under
+// context cancellation.
+func (ep *endpoint) Send(to int, tag string, payload transport.Payload) error {
+	if to < 0 || to >= ep.n.cfg.P {
+		return fmt.Errorf("wallnet: proc %d sending to nonexistent proc %d", ep.rank, to)
+	}
+	msg := message{from: ep.rank, tag: tag, payload: payload, at: time.Now()}
+	select {
+	case ep.n.chanFor(ep.rank, to) <- msg:
+		return nil
+	case <-ep.ctx.Done():
+		return fmt.Errorf("wallnet: proc %d send to %d canceled: %w", ep.rank, to, ep.ctx.Err())
+	}
+}
+
+func (ep *endpoint) Recv(from int, tag string) (transport.Payload, error) {
+	if from < 0 || from >= ep.n.cfg.P {
+		return nil, fmt.Errorf("wallnet: proc %d receiving from nonexistent proc %d", ep.rank, from)
+	}
+	timer := time.NewTimer(ep.n.cfg.RecvTimeout)
+	defer timer.Stop()
+	select {
+	case msg := <-ep.n.chanFor(from, ep.rank):
+		if msg.tag != tag {
+			return nil, fmt.Errorf("wallnet: proc %d expected tag %q from %d, got %q", ep.rank, tag, from, msg.tag)
+		}
+		return msg.payload, nil
+	case <-ep.ctx.Done():
+		return nil, fmt.Errorf("wallnet: proc %d recv from %d canceled: %w", ep.rank, from, ep.ctx.Err())
+	case <-timer.C:
+		return nil, fmt.Errorf("wallnet: proc %d timed out waiting for tag %q from %d", ep.rank, tag, from)
+	}
+}
+
+// RecvDeadline waits until a message arrives or the real deadline passes.
+// A message stamped after the deadline is consumed and discarded, like
+// simnet; if the deadline fires with nothing queued, ok=false is returned
+// and the late message (if any ever comes) stays queued for the run's end.
+func (ep *endpoint) RecvDeadline(from int, tag string, deadline float64) (transport.Payload, bool, error) {
+	if from < 0 || from >= ep.n.cfg.P {
+		return nil, false, fmt.Errorf("wallnet: proc %d receiving from nonexistent proc %d", ep.rank, from)
+	}
+	target := ep.n.start.Add(time.Duration(deadline * float64(ep.n.unit())))
+	timer := time.NewTimer(time.Until(target))
+	defer timer.Stop()
+	select {
+	case msg := <-ep.n.chanFor(from, ep.rank):
+		if msg.tag != tag {
+			return nil, false, fmt.Errorf("wallnet: proc %d expected tag %q from %d, got %q", ep.rank, tag, from, msg.tag)
+		}
+		if msg.at.After(target) {
+			return nil, false, nil
+		}
+		return msg.payload, true, nil
+	case <-timer.C:
+		return nil, false, nil
+	case <-ep.ctx.Done():
+		return nil, false, fmt.Errorf("wallnet: proc %d recv from %d canceled: %w", ep.rank, from, ep.ctx.Err())
+	}
+}
+
+// Barrier joins the current generation and blocks until every active
+// endpoint arrives, the context is canceled, or RecvTimeout declares the
+// protocol dead.
+func (ep *endpoint) Barrier(phase string, local []transport.FaultEvent) ([]transport.FaultEvent, error) {
+	n := ep.n
+	n.mu.Lock()
+	if n.cur == nil {
+		n.cur = &barState{released: make(chan struct{})}
+	}
+	st := n.cur
+	st.arrived++
+	st.events = append(st.events, local...)
+	n.maybeRelease()
+	n.mu.Unlock()
+
+	timer := time.NewTimer(n.cfg.RecvTimeout)
+	defer timer.Stop()
+	select {
+	case <-st.released:
+	case <-ep.ctx.Done():
+		return nil, fmt.Errorf("wallnet: proc %d barrier %q canceled: %w", ep.rank, phase, ep.ctx.Err())
+	case <-timer.C:
+		return nil, fmt.Errorf("wallnet: proc %d timed out in barrier %q", ep.rank, phase)
+	}
+	events := make([]transport.FaultEvent, len(st.events))
+	copy(events, st.events)
+	return events, nil
+}
+
+// Done retires the endpoint, releasing a barrier in progress if this was
+// the last arrival it was waiting on.
+func (ep *endpoint) Done() {
+	n := ep.n
+	n.mu.Lock()
+	n.active--
+	n.maybeRelease()
+	n.mu.Unlock()
+}

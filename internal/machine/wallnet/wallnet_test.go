@@ -1,0 +1,204 @@
+package wallnet
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine/transport"
+)
+
+type words int64
+
+func (w words) Words() int64 { return int64(w) }
+
+func open2(t *testing.T, ctx context.Context, cfg Config) (*Net, transport.Endpoint, transport.Endpoint) {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := n.Open(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := n.Open(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, e0, e1
+}
+
+func TestSendRecvAndTagAssert(t *testing.T) {
+	_, e0, e1 := open2(t, context.Background(), Config{P: 2})
+	if err := e0.Send(1, "x", words(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e1.Recv(0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(words) != 3 {
+		t.Errorf("payload = %v", got)
+	}
+	if err := e0.Send(1, "alpha", words(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Recv(0, "beta"); err == nil || !strings.Contains(err.Error(), "expected tag") {
+		t.Fatalf("tag mismatch err = %v", err)
+	}
+}
+
+func TestRecvTimesOut(t *testing.T) {
+	_, _, e1 := open2(t, context.Background(), Config{P: 2, RecvTimeout: 30 * time.Millisecond})
+	if _, err := e1.Recv(0, "never"); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContextCancelAbortsRecvAndBarrier(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, e0, e1 := open2(t, ctx, Config{P: 2})
+	errc := make(chan error, 2)
+	go func() {
+		_, err := e0.Recv(1, "never")
+		errc <- err
+	}()
+	go func() {
+		_, err := e1.Barrier("stuck", nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if err == nil || !strings.Contains(err.Error(), "canceled") {
+				t.Fatalf("err = %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("blocked call not aborted by cancel")
+		}
+	}
+}
+
+func TestRecvDeadline(t *testing.T) {
+	_, e0, e1 := open2(t, context.Background(), Config{P: 2, TimeDilation: time.Millisecond})
+	// On time: the message is already queued well before the deadline.
+	if err := e0.Send(1, "d", words(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := e1.RecvDeadline(0, "d", 10_000) // 10s of model time
+	if err != nil || !ok {
+		t.Fatalf("on-time message rejected: ok=%v err=%v", ok, err)
+	}
+	// Missed: nothing is sent, deadline 30ms from the start fires.
+	start := time.Now()
+	_, ok, err = e1.RecvDeadline(0, "d", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("deadline with no sender should miss")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline wait did not use the real deadline")
+	}
+}
+
+func TestBarrierMergesAndSorts(t *testing.T) {
+	_, e0, e1 := open2(t, context.Background(), Config{P: 2})
+	type out struct {
+		ev  []transport.FaultEvent
+		err error
+	}
+	ch := make(chan out, 2)
+	go func() {
+		ev, err := e1.Barrier("x", []transport.FaultEvent{{Proc: 1, Phase: "x"}})
+		ch <- out{ev, err}
+	}()
+	ev, err := e0.Barrier("x", []transport.FaultEvent{{Proc: 0, Phase: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := <-ch
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	for _, got := range [][]transport.FaultEvent{ev, o.ev} {
+		if len(got) != 2 || got[0].Proc != 0 || got[1].Proc != 1 {
+			t.Errorf("merged events = %v, want sorted [0 1]", got)
+		}
+	}
+}
+
+func TestDoneReleasesBarrier(t *testing.T) {
+	_, e0, e1 := open2(t, context.Background(), Config{P: 2})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e0.Barrier("late", nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	e1.Done()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier not released by Done")
+	}
+}
+
+func TestDilationSleepsWorkAndConvertsNow(t *testing.T) {
+	n, err := New(Config{P: 1, TimeDilation: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := n.Open(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.ElapseWork(50) // 50 model units = 50ms of real time
+	if now := ep.Now(); now < 50 {
+		t.Errorf("Now() = %v model units after charging 50", now)
+	}
+}
+
+func TestFreeRunningNowIsSeconds(t *testing.T) {
+	n, err := New(Config{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := n.Open(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Elapse(1e9) // free-running: charges are not slept
+	if now := ep.Now(); now > 60 {
+		t.Errorf("free-running Now() = %v, should be wall seconds", now)
+	}
+}
+
+func TestSendBackpressureUnblocksOnRecv(t *testing.T) {
+	_, e0, e1 := open2(t, context.Background(), Config{P: 2, ChannelCap: 1})
+	if err := e0.Send(1, "x", words(1)); err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan error, 1)
+	go func() { sent <- e0.Send(1, "x", words(1)) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := e1.Recv(0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("full-buffer send did not unblock after a receive")
+	}
+}
