@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson fuzz lint lint-json fuzz-smoke wallsmoke ci
+.PHONY: build test race vet bench benchjson benchgate caltune fuzz lint lint-json fuzz-smoke wallsmoke ci
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,23 @@ bench:
 
 # Regenerate the committed benchmark snapshot for the current PR (the
 # BENCH_PR*.json trajectory is append-only; see cmd/benchjson).
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 benchjson:
-	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -count 3 -out $(BENCH_OUT)
+
+# Advisory perf gate: take a fresh interleaved snapshot of the alloc
+# benchmarks and diff it against the newest committed BENCH_PR*.json.
+# Fails on a >25% ns/op regression at stable allocs/op; the CI job that
+# runs this is continue-on-error because shared runners are noisy.
+BENCH_BASE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
+benchgate:
+	@test -n "$(BENCH_BASE)" || { echo "benchgate: no committed BENCH_PR*.json baseline"; exit 1; }
+	$(GO) run ./cmd/benchjson -bench BenchmarkAlloc -count 3 -out '' -gate $(BENCH_BASE)
+
+# Measure this machine's kernel crossovers and write calibration.json,
+# picked up automatically by internal/bigint at process start.
+caltune:
+	$(GO) run ./cmd/caltune -v
 
 # Wall-clock backend smoke: the machine/crosscheck suites that exercise the
 # wallnet transport, then one real end-to-end FT multiplication on -backend

@@ -90,6 +90,42 @@ func BenchmarkAllocEvalInterp(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocNTT is the acceptance benchmark for the NTT tier of the
+// kernel ladder: one balanced multiply per size, dispatched through the
+// public sequential path, at sizes where the NTT rung is live (2^18–2^22
+// bits). Steady state must stay at one allocation per op — the result — with
+// all transform scratch on the pooled arena; ns/op here against the
+// Karatsuba baseline is the PR's ≥2× acceptance figure (see EXPERIMENTS.md).
+func BenchmarkAllocNTT(b *testing.B) {
+	for _, bits := range []int{1 << 18, 1 << 20, 1 << 22} {
+		a, x := benchOperands(bits)
+		b.Run(fmt.Sprintf("mul/bits=%d", bits), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = a.Mul(x)
+			}
+		})
+	}
+	// The same sizes with the NTT rung disabled: the Karatsuba baseline the
+	// speedup is measured against.
+	prev := bigint.CurrentLadder()
+	noNTT := prev
+	noNTT.NTTLimbs = 0
+	for _, bits := range []int{1 << 18, 1 << 20, 1 << 22} {
+		a, x := benchOperands(bits)
+		b.Run(fmt.Sprintf("karabase/bits=%d", bits), func(b *testing.B) {
+			if err := bigint.SetLadder(noNTT); err != nil {
+				b.Fatal(err)
+			}
+			defer bigint.SetLadder(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = a.Mul(x)
+			}
+		})
+	}
+}
+
 // BenchmarkAllocMulConcurrent exercises the bounded worker pool on the
 // shared-memory concurrent multiply (depth-2 fan-out).
 func BenchmarkAllocMulConcurrent(b *testing.B) {

@@ -7,10 +7,23 @@
 // Every value/unit pair the testing package prints is captured generically:
 // the standard ns/op, B/op and allocs/op as well as the custom machine-model
 // metrics (F/op, BW/op, L/op) that the Table benchmarks report via
-// b.ReportMetric. Typical use:
+// b.ReportMetric. The snapshot records the machine environment (CPU model,
+// load average, cpufreq governor — internal/benchenv) so future readers can
+// judge whether two snapshots are comparable, and -count N repeats the whole
+// suite N times interleaved (suite-by-suite, not benchmark-by-benchmark, so
+// slow drift hits every family equally) reporting per-metric mean and
+// standard deviation. Typical use:
 //
 //	go run ./cmd/benchjson -out BENCH_PR1.json
-//	go run ./cmd/benchjson -bench 'BenchmarkAlloc' -benchtime 5x -out -
+//	go run ./cmd/benchjson -bench 'BenchmarkAlloc' -benchtime 5x -count 3 -out -
+//	go run ./cmd/benchjson -bench 'BenchmarkAlloc' -count 3 -gate BENCH_PR5.json
+//
+// With -gate BASELINE.json the fresh run is compared against the committed
+// baseline: a mean ns/op more than 25% above the baseline on a benchmark
+// whose allocs/op is unchanged makes the command exit nonzero (an allocs/op
+// change is reported but does not gate — it marks an intentional behavior
+// change the ns/op comparison can't judge). The CI job wired to `make
+// benchgate` is advisory: shared runners are too noisy for a hard gate.
 //
 // The command shells out to the local go toolchain; it adds no dependencies.
 package main
@@ -21,79 +34,251 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/benchenv"
 )
 
-// Result is one benchmark line: the trimmed name, the iteration count, and
-// every reported metric keyed by its unit (ns/op, B/op, allocs/op, F/op, …).
+// Result is one benchmark: the trimmed name, the iteration count of the
+// last sample, and every reported metric keyed by its unit (ns/op, B/op,
+// allocs/op, F/op, …). With -count > 1, Metrics holds the per-metric mean
+// over the samples, Stddev the sample standard deviation, and Samples the
+// number of runs aggregated.
 type Result struct {
 	Name       string             `json:"name"`
 	Family     string             `json:"family"`
 	Iterations int64              `json:"iterations"`
+	Samples    int                `json:"samples,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
+	Stddev     map[string]float64 `json:"stddev,omitempty"`
 }
 
 // Snapshot is the document benchjson writes.
 type Snapshot struct {
-	GoVersion  string    `json:"go_version"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Date       time.Time `json:"date"`
-	BenchRegex string    `json:"bench_regex"`
-	BenchTime  string    `json:"benchtime"`
-	Packages   []string  `json:"packages"`
-	Results    []Result  `json:"results"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Environment benchenv.Env `json:"environment"`
+	Date        time.Time    `json:"date"`
+	BenchRegex  string       `json:"bench_regex"`
+	BenchTime   string       `json:"benchtime"`
+	Count       int          `json:"count,omitempty"`
+	Packages    []string     `json:"packages"`
+	Results     []Result     `json:"results"`
 }
 
 func main() {
 	bench := flag.String("bench", "Benchmark(Table1|Alloc)", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
 	pkgs := flag.String("pkg", ".", "comma-separated package patterns to benchmark")
-	out := flag.String("out", "BENCH_PR1.json", "output file, or - for stdout")
+	out := flag.String("out", "BENCH_PR1.json", "output file, - for stdout, or '' to skip writing")
 	timeout := flag.String("timeout", "20m", "passed to go test -timeout")
+	count := flag.Int("count", 1, "interleaved repetitions of the whole suite (mean/stddev per metric)")
+	gate := flag.String("gate", "", "baseline snapshot to diff against; exit nonzero on >25% ns/op regression at stable allocs/op")
 	flag.Parse()
+	if *count < 1 {
+		*count = 1
+	}
 
 	snap := Snapshot{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Date:       time.Now().UTC().Truncate(time.Second),
-		BenchRegex: *bench,
-		BenchTime:  *benchtime,
-		Packages:   strings.Split(*pkgs, ","),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Environment: benchenv.Collect(),
+		Date:        time.Now().UTC().Truncate(time.Second),
+		BenchRegex:  *bench,
+		BenchTime:   *benchtime,
+		Count:       *count,
+		Packages:    strings.Split(*pkgs, ","),
 	}
 
-	for _, pkg := range snap.Packages {
-		raw, err := runBench(pkg, *bench, *benchtime, *timeout)
+	// -count interleaves whole sweeps (every package, every family) rather
+	// than repeating each benchmark in place, so machine drift during the
+	// run spreads across all samples of every benchmark.
+	var sweeps [][]Result
+	for s := 0; s < *count; s++ {
+		var sweep []Result
+		for _, pkg := range snap.Packages {
+			raw, err := runBench(pkg, *bench, *benchtime, *timeout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+				os.Exit(1)
+			}
+			sweep = append(sweep, parseBenchOutput(raw)...)
+		}
+		sweeps = append(sweeps, sweep)
+	}
+	snap.Results = aggregate(sweeps)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		snap.Results = append(snap.Results, parseBenchOutput(raw)...)
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+		}
 	}
 
-	data, err := json.MarshalIndent(snap, "", "  ")
+	if *gate != "" {
+		if regressions := runGate(*gate, snap); regressions > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// aggregate merges the per-sweep result lists into one list with per-metric
+// mean and (for multiple samples) sample standard deviation. Benchmarks that
+// appear in only some sweeps are aggregated over the sweeps they ran in.
+func aggregate(sweeps [][]Result) []Result {
+	if len(sweeps) == 1 {
+		return sweeps[0]
+	}
+	type acc struct {
+		Result
+		values map[string][]float64
+	}
+	byName := make(map[string]*acc)
+	var order []string
+	for _, sweep := range sweeps {
+		for _, r := range sweep {
+			a, ok := byName[r.Name]
+			if !ok {
+				a = &acc{Result: r, values: make(map[string][]float64)}
+				byName[r.Name] = a
+				order = append(order, r.Name)
+			}
+			a.Iterations = r.Iterations
+			for unit, v := range r.Metrics {
+				a.values[unit] = append(a.values[unit], v)
+			}
+		}
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		a.Metrics = make(map[string]float64, len(a.values))
+		a.Stddev = make(map[string]float64, len(a.values))
+		samples := 0
+		for unit, vs := range a.values {
+			mean, sd := meanStddev(vs)
+			a.Metrics[unit] = mean
+			a.Stddev[unit] = sd
+			if len(vs) > samples {
+				samples = len(vs)
+			}
+		}
+		a.Samples = samples
+		results = append(results, a.Result)
+	}
+	return results
+}
+
+func meanStddev(vs []float64) (mean, sd float64) {
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	if len(vs) < 2 {
+		return mean, 0
+	}
+	for _, v := range vs {
+		sd += (v - mean) * (v - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(vs)-1))
+}
+
+// gateThreshold is the relative ns/op growth that counts as a regression.
+const gateThreshold = 0.25
+
+// runGate diffs the fresh snapshot against a committed baseline and reports
+// the number of gating regressions: benchmarks whose mean ns/op grew by more
+// than gateThreshold while allocs/op stayed exactly stable. Benchmarks with
+// changed allocs/op, or present on only one side, are reported but never
+// gate.
+func runGate(path string, fresh Snapshot) int {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		fmt.Fprintf(os.Stderr, "benchjson: gate baseline: %v\n", err)
 		os.Exit(1)
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: gate baseline %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+
+	regressions := 0
+	var names []string
+	for _, r := range fresh.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	freshByName := make(map[string]Result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		freshByName[r.Name] = r
+	}
+	for _, name := range names {
+		cur := freshByName[name]
+		old, ok := baseByName[name]
+		if !ok {
+			fmt.Printf("gate: NEW        %-60s %12.0f ns/op\n", name, cur.Metrics["ns/op"])
+			continue
+		}
+		oldNs, curNs := old.Metrics["ns/op"], cur.Metrics["ns/op"]
+		oldAllocs, hasOldAllocs := old.Metrics["allocs/op"]
+		curAllocs, hasCurAllocs := cur.Metrics["allocs/op"]
+		allocsStable := !hasOldAllocs && !hasCurAllocs || hasOldAllocs && hasCurAllocs && oldAllocs == curAllocs
+		rel := 0.0
+		if oldNs > 0 {
+			rel = curNs/oldNs - 1
+		}
+		switch {
+		case !allocsStable:
+			fmt.Printf("gate: ALLOCS     %-60s %12.1f → %-12.1f allocs/op (ns/op %+.1f%%, not gated)\n",
+				name, oldAllocs, curAllocs, 100*rel)
+		case rel > gateThreshold:
+			regressions++
+			fmt.Printf("gate: REGRESSED  %-60s %12.0f → %-12.0f ns/op (%+.1f%% > +%.0f%%)\n",
+				name, oldNs, curNs, 100*rel, 100*gateThreshold)
+		default:
+			fmt.Printf("gate: ok         %-60s %12.0f → %-12.0f ns/op (%+.1f%%)\n",
+				name, oldNs, curNs, 100*rel)
+		}
+	}
+	for name := range baseByName {
+		if _, ok := freshByName[name]; !ok {
+			fmt.Printf("gate: MISSING    %-60s (in baseline %s only)\n", name, path)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("gate: %d regression(s) vs %s (>%.0f%% ns/op at stable allocs/op)\n",
+			regressions, path, 100*gateThreshold)
+	} else {
+		fmt.Printf("gate: clean vs %s\n", path)
+	}
+	return regressions
 }
 
 func runBench(pkg, bench, benchtime, timeout string) ([]byte, error) {

@@ -1,0 +1,186 @@
+// Command caltune measures this machine's multiplication crossover points
+// and writes a calibration profile for the kernel ladder.
+//
+// It locates two ns/op crossings with the timing hooks in internal/bigint:
+//
+//  1. schoolbook → Karatsuba: binary search on the operand size where the
+//     recursive kernel first beats the quadratic loop;
+//  2. Karatsuba → NTT: doubling search over tight transform sizes (balanced
+//     power-of-two operands, so the transform has no zero-padding) for the
+//     first NTT win, then a model-based refinement of the tie point between
+//     the last Karatsuba win and the first NTT win.
+//
+// The Toom → NTT crossover of the public sequential API is derived from the
+// second crossing: the bypass engages at the first balanced size whose
+// kernel dispatch actually reaches the NTT rung.
+//
+// Usage:
+//
+//	caltune [-o calibration.json] [-budget 200ms] [-v]
+//
+// The output file is consumed by internal/bigint at process start via
+// $FTMUL_CALIBRATION or ./calibration.json (see bigint.LoadCalibration); its
+// environment block records where the numbers came from.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/benchenv"
+	"repro/internal/bigint"
+)
+
+type profile struct {
+	KaratsubaLimbs int          `json:"karatsuba_limbs"`
+	NTTLimbs       int          `json:"ntt_limbs"`
+	ToomNTTBits    int          `json:"toom_ntt_bits"`
+	Environment    benchenv.Env `json:"environment"`
+	Measurements   []probe      `json:"measurements"`
+}
+
+// probe records one comparison the calibrator based its decision on.
+type probe struct {
+	Limbs    int     `json:"limbs"`
+	LowerNs  float64 `json:"lower_ns_per_op"`  // cheaper rung (schoolbook / Karatsuba)
+	HigherNs float64 `json:"higher_ns_per_op"` // candidate rung (Karatsuba / NTT)
+	Rung     string  `json:"rung"`
+}
+
+var (
+	out     = flag.String("o", "calibration.json", "output profile path")
+	budget  = flag.Duration("budget", 200*time.Millisecond, "target wall time per timing probe")
+	verbose = flag.Bool("v", false, "log every probe")
+)
+
+func main() {
+	flag.Parse()
+
+	p := profile{Environment: benchenv.Collect()}
+
+	p.KaratsubaLimbs = findKaratsubaCrossover(&p)
+	// Fix the lower rung before timing Karatsuba against the NTT: the
+	// recursive kernel's base case follows the live ladder.
+	mustSetLadder(bigint.Ladder{KaratsubaLimbs: p.KaratsubaLimbs})
+
+	nttLimbs, firstWin := findNTTCrossover(&p)
+	p.NTTLimbs = nttLimbs
+	p.ToomNTTBits = firstWin * 64
+
+	final := bigint.Ladder{
+		KaratsubaLimbs: p.KaratsubaLimbs,
+		NTTLimbs:       p.NTTLimbs,
+		ToomNTTBits:    p.ToomNTTBits,
+	}
+	if err := final.Validate(); err != nil {
+		fatalf("measured profile invalid: %v", err)
+	}
+
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		fatalf("encoding profile: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("caltune: karatsuba_limbs=%d ntt_limbs=%d toom_ntt_bits=%d → %s\n",
+		p.KaratsubaLimbs, p.NTTLimbs, p.ToomNTTBits, *out)
+}
+
+// timeOp returns the ns/op of one kernel at one size, scaling repetitions to
+// roughly the per-probe budget (one short pilot run sets the scale).
+func timeOp(k bigint.Kernel, limbs int) float64 {
+	pilot := bigint.TimeKernel(k, limbs, 1)
+	reps := int(*budget / max(pilot, time.Microsecond))
+	reps = min(max(reps, 3), 1<<20)
+	return float64(bigint.TimeKernel(k, limbs, reps).Nanoseconds()) / float64(reps)
+}
+
+// compare probes both rungs at one size and logs the outcome.
+func compare(p *profile, lower, higher bigint.Kernel, limbs int, rung string) (lowNs, highNs float64) {
+	lowNs = timeOp(lower, limbs)
+	highNs = timeOp(higher, limbs)
+	p.Measurements = append(p.Measurements, probe{Limbs: limbs, LowerNs: lowNs, HigherNs: highNs, Rung: rung})
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "caltune: %-10s %6d limbs: %12.0f vs %12.0f ns/op\n", rung, limbs, lowNs, highNs)
+	}
+	return lowNs, highNs
+}
+
+// findKaratsubaCrossover binary-searches the smallest size where Karatsuba
+// beats schoolbook, assuming the winner is monotone in the size (true in
+// practice: the quadratic term only grows against the recursion).
+func findKaratsubaCrossover(p *profile) int {
+	lo, hi := 8, 512 // crossover is tens of limbs on every known machine
+	for lo < hi {
+		mid := (lo + hi) / 2
+		basic, kara := compare(p, bigint.KernelSchoolbook, bigint.KernelKaratsuba, mid, "karatsuba")
+		if kara < basic {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// findNTTCrossover locates the NTT rung's tight-transform tie point: the
+// balanced size n* at which a padding-free transform (N = 2n*) would tie
+// Karatsuba — the anchor of the dispatch's cost model (bigint.Ladder's
+// NTTLimbs). Tight sizes are powers of two, so it walks doublings for the
+// first NTT win and then interpolates the tie inside the bracketing octave:
+// tight-NTT cost ∝ 2n·log₂(2n) with the per-point cost averaged from the
+// two tight measurements, Karatsuba ∝ n^e with e fit from the same pair.
+// (n* is usually not a power of two, so the tight transform there is
+// hypothetical — exactly as the dispatch model treats it.) It returns the
+// tie point and the first tight winning size.
+func findNTTCrossover(p *profile) (tie, firstWin int) {
+	const lowest, highest = 256, 1 << 17
+	lastLoss := 0
+	var lossKara, lossNTT, winKara, winNTT float64
+	for n := lowest; n <= highest; n *= 2 {
+		kara, ntt := compare(p, bigint.KernelKaratsuba, bigint.KernelNTT, n, "ntt")
+		if ntt < kara {
+			if lastLoss == 0 {
+				// NTT already wins at the smallest probe; anchor there.
+				return n, n
+			}
+			winKara, winNTT = kara, ntt
+			firstWin = n
+			break
+		}
+		lastLoss, lossKara, lossNTT = n, kara, ntt
+	}
+	if firstWin == 0 {
+		// NTT never won: disable the rung rather than fabricate a threshold.
+		return 0, 0
+	}
+
+	tightCost := func(n float64) float64 { return 2 * n * math.Log2(2*n) }
+	e := math.Log2(winKara / lossKara)
+	nttPerPoint := (lossNTT/tightCost(float64(lastLoss)) + winNTT/tightCost(float64(firstWin))) / 2
+	for n := lastLoss; n <= firstWin; n++ {
+		nttNs := nttPerPoint * tightCost(float64(n))
+		karaNs := lossKara * math.Pow(float64(n)/float64(lastLoss), e)
+		if nttNs <= karaNs {
+			return n, firstWin
+		}
+	}
+	return firstWin, firstWin
+}
+
+func mustSetLadder(l bigint.Ladder) {
+	if err := bigint.SetLadder(l); err != nil {
+		fatalf("SetLadder: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caltune: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -60,14 +60,14 @@ func (f *faultFlags) Set(s string) error {
 
 func main() {
 	var (
-		aStr   = flag.String("a", "", "first operand (decimal)")
-		bStr   = flag.String("b", "", "second operand (decimal)")
-		bits   = flag.Int("bits", 0, "generate random operands of this many bits instead of -a/-b")
-		seed   = flag.Int64("seed", 1, "PRNG seed for -bits")
-		algo   = flag.String("algo", "toom", "algorithm: toom, parallel, ft, replicated, checkpoint")
-		k      = flag.Int("k", 3, "Toom-Cook split number (>= 2)")
-		p      = flag.Int("P", 9, "simulated processors (power of 2k-1)")
-		f      = flag.Int("f", 1, "faults to tolerate (ft/replicated)")
+		aStr    = flag.String("a", "", "first operand (decimal)")
+		bStr    = flag.String("b", "", "second operand (decimal)")
+		bits    = flag.Int("bits", 0, "generate random operands of this many bits instead of -a/-b")
+		seed    = flag.Int64("seed", 1, "PRNG seed for -bits")
+		algo    = flag.String("algo", "toom", "algorithm: toom, parallel, ft, replicated, checkpoint")
+		k       = flag.Int("k", 3, "Toom-Cook split number (>= 2)")
+		p       = flag.Int("P", 9, "simulated processors (power of 2k-1)")
+		f       = flag.Int("f", 1, "faults to tolerate (ft/replicated)")
 		mem     = flag.Int64("M", 0, "per-processor memory budget in words (0 = unlimited)")
 		backend = flag.String("backend", "sim", "machine backend: sim (virtual clock) or wall (wall clock; time in seconds)")
 		quiet   = flag.Bool("q", false, "print only a digest of the product")

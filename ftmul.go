@@ -39,27 +39,55 @@ import (
 // Toom-3, the variant most commonly deployed in practice (GMP et al.).
 const DefaultK = 3
 
-// Mul multiplies two integers with sequential Toom-Cook-3. It never fails:
-// any size, any sign.
+// pastToomNTT reports whether the sequential API should bypass Toom-Cook and
+// multiply through the kernel crossover ladder directly (schoolbook →
+// Karatsuba → NTT; internal/bigint). The crossover is the calibration
+// ladder's toom_ntt_bits (bigint.ToomNTTThresholdBits; <= 0 disables the
+// bypass). Only the sequential convenience API dispatches on it — the
+// parallel and fault-tolerant paths are the object of study and stay on
+// Toom-Cook regardless, so their F/BW/L accounting is unaffected.
+func pastToomNTT(a, b *big.Int) bool {
+	t := bigint.ToomNTTThresholdBits()
+	return t > 0 && a.BitLen() >= t && b.BitLen() >= t
+}
+
+// Mul multiplies two integers sequentially. It never fails: any size, any
+// sign. Below the calibrated Toom → NTT crossover it runs Toom-Cook-3; at
+// and above it, the operands are large enough that the NTT tier of the
+// kernel ladder beats the Toom recursion outright, so it dispatches straight
+// to the kernel (which climbs schoolbook → Karatsuba → NTT internally).
 func Mul(a, b *big.Int) *big.Int {
+	if pastToomNTT(a, b) {
+		return bigint.FromBig(a).Mul(bigint.FromBig(b)).ToBig()
+	}
 	alg := toom.MustNew(DefaultK)
 	return alg.Mul(bigint.FromBig(a), bigint.FromBig(b)).ToBig()
 }
 
 // MulToom multiplies with sequential Toom-Cook-k over the standard
-// evaluation points (0, ±1, ±2, …, ∞); k must be at least 2.
+// evaluation points (0, ±1, ±2, …, ∞); k must be at least 2. Like Mul, it
+// dispatches past the Toom recursion to the kernel ladder above the
+// calibrated Toom → NTT crossover.
 func MulToom(a, b *big.Int, k int) (*big.Int, error) {
 	alg, err := toom.New(k)
 	if err != nil {
 		return nil, err
 	}
+	if pastToomNTT(a, b) {
+		return bigint.FromBig(a).Mul(bigint.FromBig(b)).ToBig(), nil
+	}
 	return alg.Mul(bigint.FromBig(a), bigint.FromBig(b)).ToBig(), nil
 }
 
-// Square returns a² with the squaring specialization of Toom-Cook-3: one
-// evaluation pass instead of two, saving roughly a quarter of the linear
-// work relative to Mul(a, a).
+// Square returns a² sequentially. Below the Toom → NTT crossover it uses the
+// squaring specialization of Toom-Cook-3 (one evaluation pass instead of
+// two); above it, the kernel ladder — whose NTT tier has its own
+// one-transform squaring fast path.
 func Square(a *big.Int) *big.Int {
+	if pastToomNTT(a, a) {
+		ai := bigint.FromBig(a)
+		return ai.Mul(ai).ToBig()
+	}
 	alg := toom.MustNew(DefaultK)
 	return alg.Square(bigint.FromBig(a)).ToBig()
 }

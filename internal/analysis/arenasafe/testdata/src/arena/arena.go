@@ -218,3 +218,59 @@ func escapeAllowed(n int) nat {
 	//ftlint:allow arenasafe fixture: copied by the caller before the arena is reused
 	return z
 }
+
+// nttWorker models the NTT fan-out discipline (internal/bigint's
+// nttWorkProduct): each pool task is a named function renting its own arena
+// so concurrent workers never share a slab, with the rental closed on every
+// path before the task ends.
+func nttWorker(n int) {
+	ar := getArena()
+	defer putArena(ar)
+	ar.ensure(4 * n)
+	work := ar.alloc(n)
+	butterfly(work)
+}
+
+// nttWorkerStageMarks rewinds per-stage scratch with a fresh mark each
+// iteration — balanced inside the loop body, so every path through the back
+// edge is clean.
+func nttWorkerStageMarks(stages, n int) {
+	ar := getArena()
+	defer putArena(ar)
+	for s := 0; s < stages; s++ {
+		m := ar.mark()
+		tw := ar.alloc(n)
+		butterfly(tw)
+		ar.release(m)
+	}
+}
+
+// nttWorkerMarkBeforeLoop takes the mark once but releases it every
+// iteration: the second pass rewinds a mark that was already released.
+func nttWorkerMarkBeforeLoop(stages, n int) {
+	ar := getArena()
+	defer putArena(ar)
+	m := ar.mark()
+	for s := 0; s < stages; s++ {
+		butterfly(ar.alloc(n))
+		ar.release(m) // want "may be released twice"
+	}
+} // want "mark .m. is not released on every path"
+
+// nttWorkerErrLeak bails out of the fan-out on a degenerate size without
+// closing the rental — the leak hides on the early-return path.
+func nttWorkerErrLeak(n int) bool {
+	ar := getArena()
+	if n == 0 {
+		return false // want "putArena is not deferred"
+	}
+	butterfly(ar.alloc(n))
+	putArena(ar)
+	return true
+}
+
+func butterfly(a nat) {
+	for i := range a {
+		a[i]++
+	}
+}

@@ -141,7 +141,12 @@ type Summary struct {
 	ReachesRecovery bool
 	HandlesFaults   bool
 
-	// SpawnsGo: the function contains a raw go statement, transitively.
+	// SpawnsGo: the function contains an unsanctioned raw go statement,
+	// transitively. A spawn covered by an `//ftlint:allow poolspawn`
+	// comment — the bounded pool's own audited worker launch — is the
+	// sanctioned concurrency the recovery rules point callers to, so it
+	// does not set this bit (otherwise every kernel that fans out through
+	// the pool would poison the recovery handlers above it).
 	// AllocsArenaParam: it allocates from an arena-typed parameter (its
 	// caller may still hold allocations on that arena), transitively.
 	SpawnsGo         bool
@@ -340,7 +345,7 @@ func (s *Summaries) compute(n *CGNode) bool {
 
 	// Transitive boolean facts from direct statements and call edges.
 	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
-		if _, ok := m.(*ast.GoStmt); ok {
+		if g, ok := m.(*ast.GoStmt); ok && !sanctionedSpawn(n.Pkg, n.Decl, g.Pos()) {
 			sum.SpawnsGo = true
 		}
 		return true
@@ -742,4 +747,46 @@ func CollectBareClosures(root ast.Node) ClosureSpans {
 		return true
 	})
 	return spans
+}
+
+// sanctionedSpawn reports whether the go statement at pos is covered by an
+// `//ftlint:allow poolspawn` comment — on its own line, the line above, or
+// in the enclosing function's doc comment, mirroring the suppression scopes
+// of the allow index. Such a spawn is the bounded pool's audited worker
+// launch, so it does not count as a raw spawn in SpawnsGo summaries.
+func sanctionedSpawn(pkg *Package, fd *ast.FuncDecl, pos token.Pos) bool {
+	allowsPoolspawn := func(c *ast.Comment) bool {
+		for _, name := range parseAllow(c.Text) {
+			if name == "poolspawn" {
+				return true
+			}
+		}
+		return false
+	}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if allowsPoolspawn(c) {
+				return true
+			}
+		}
+	}
+	p := pkg.Fset.Position(pos)
+	for _, f := range pkg.Files {
+		if f.Pos() > pos || pos > f.End() {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !allowsPoolspawn(c) {
+					continue
+				}
+				cp := pkg.Fset.Position(c.Pos())
+				if cp.Filename == p.Filename && (cp.Line == p.Line || cp.Line == p.Line-1) {
+					return true
+				}
+			}
+		}
+		break
+	}
+	return false
 }

@@ -1,7 +1,9 @@
 // Package poolspawn forbids raw `go` statements in the packages whose
-// concurrency must route through the bounded worker pool (internal/toom's
-// pool.go): internal/toom, internal/parallel, internal/ftparallel, and
-// internal/machine. The seed implementation's one-goroutine-per-subproduct
+// concurrency must route through the bounded worker pool
+// (internal/workpool): internal/toom, internal/parallel,
+// internal/ftparallel, internal/machine, internal/bigint (the NTT's
+// per-prime and butterfly fan-out), internal/workpool itself, and
+// cmd/caltune. The seed implementation's one-goroutine-per-subproduct
 // fan-out was a (2k-1)^depth goroutine explosion; the pool bounds live
 // workers at GOMAXPROCS, and this analyzer keeps new code from quietly
 // reintroducing unbounded spawns.
@@ -28,7 +30,7 @@ var Analyzer = &framework.Analyzer{
 // (internal/machine/{transport,simnet,wallnet,costacct,faultinject}), but
 // the backend packages are listed by name too so fixture packages — whose
 // synthetic import paths are a single segment — exercise the rule.
-var governed = []string{"toom", "parallel", "ftparallel", "machine", "simnet", "wallnet"}
+var governed = []string{"toom", "parallel", "ftparallel", "machine", "simnet", "wallnet", "bigint", "workpool", "caltune"}
 
 func run(pass *framework.Pass) error {
 	target := false

@@ -20,3 +20,21 @@ func TestPoolSpawnUngoverned(t *testing.T) {
 func TestPoolSpawnTransportBackend(t *testing.T) {
 	analysistest.Run(t, poolspawn.Analyzer, "simnet")
 }
+
+// The NTT tier's home package is governed: butterfly fan-out goes through
+// the bounded pool, not raw goroutines.
+func TestPoolSpawnBigint(t *testing.T) {
+	analysistest.Run(t, poolspawn.Analyzer, "bigint")
+}
+
+// The pool package itself is governed; only its annotated worker-launch
+// site may spawn.
+func TestPoolSpawnWorkpool(t *testing.T) {
+	analysistest.Run(t, poolspawn.Analyzer, "workpool")
+}
+
+// The calibrator is governed: background goroutines would perturb its
+// timing probes.
+func TestPoolSpawnCaltune(t *testing.T) {
+	analysistest.Run(t, poolspawn.Analyzer, "caltune")
+}

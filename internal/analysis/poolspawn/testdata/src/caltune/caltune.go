@@ -1,0 +1,17 @@
+// Fixture for the poolspawn analyzer, named "caltune" so its synthetic
+// import path falls under the pool-governed rule: the calibrator times the
+// kernels sequentially and must not perturb its own measurements (or skew
+// GOMAXPROCS accounting) with background goroutines.
+package caltune
+
+func timeAll(sizes []int, probe func(int)) {
+	for _, n := range sizes {
+		probe(n)
+	}
+}
+
+func timeAllBackground(sizes []int, probe func(int)) {
+	for _, n := range sizes {
+		go probe(n) // want "raw go statement"
+	}
+}

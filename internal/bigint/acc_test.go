@@ -30,9 +30,8 @@ func natToBig(x nat) *big.Int {
 // Karatsuba threshold, balanced and unbalanced, against math/big.
 func TestNatMulKaratsubaCrossCheck(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	sizes := []int{0, 1, 2, 5, karatsubaThreshold - 1, karatsubaThreshold,
-		karatsubaThreshold + 1, 2*karatsubaThreshold + 3, 4 * karatsubaThreshold,
-		10*karatsubaThreshold + 7}
+	kt := karatsubaThresholdLimbs()
+	sizes := []int{0, 1, 2, 5, kt - 1, kt, kt + 1, 2*kt + 3, 4 * kt, 10*kt + 7}
 	for _, nx := range sizes {
 		for _, ny := range sizes {
 			x := randNat(rng, nx)
@@ -49,7 +48,7 @@ func TestNatMulKaratsubaCrossCheck(t *testing.T) {
 // TestNatMulSparseOperands hits the carry-propagation paths of basicMulTo
 // and karatsuba with all-ones and single-bit patterns.
 func TestNatMulSparseOperands(t *testing.T) {
-	n := 3 * karatsubaThreshold
+	n := 3 * karatsubaThresholdLimbs()
 	ones := make(nat, n)
 	for i := range ones {
 		ones[i] = ^uint64(0)

@@ -1,0 +1,64 @@
+package bigint
+
+// Timing hooks for cmd/caltune: each multiplication kernel exposed as a
+// directly timeable unit, bypassing the ladder dispatch, so the calibrator
+// can locate ns/op crossings between adjacent rungs and emit a
+// calibration.json profile for LoadCalibration.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Kernel names one rung of the multiplication ladder for TimeKernel.
+type Kernel int
+
+const (
+	KernelSchoolbook Kernel = iota
+	KernelKaratsuba
+	KernelNTT
+)
+
+// TimeKernel reports the wall time of reps back-to-back runs of one kernel
+// on deterministic pseudo-random balanced limbs×limbs operands, arena and
+// destination reused across runs exactly as the ladder would. Karatsuba's
+// base case follows the live ladder's schoolbook threshold, so calibrators
+// should fix the lower rungs (SetLadder) before timing the higher ones.
+func TimeKernel(k Kernel, limbs, reps int) time.Duration {
+	rng := rand.New(rand.NewSource(0xCA17))
+	x := make(nat, limbs)
+	y := make(nat, limbs)
+	for i := 0; i < limbs; i++ {
+		x[i] = rng.Uint64()
+		y[i] = rng.Uint64()
+	}
+	x[limbs-1] |= 1 << 63
+	y[limbs-1] |= 1 << 63
+
+	z := make(nat, 2*limbs)
+	ar := getArena()
+	switch k {
+	case KernelKaratsuba:
+		ar.ensure(karaScratchFor(limbs))
+	case KernelNTT:
+		ar.ensure(nttScratchFor(2 * limbs))
+	}
+
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		clear(z)
+		switch k {
+		case KernelSchoolbook:
+			basicMulTo(z, x, y)
+		case KernelKaratsuba:
+			karatsuba(z, x, y, ar)
+		case KernelNTT:
+			nttMulTo(z, x, y, ar)
+		default:
+			panic("bigint: unknown kernel")
+		}
+	}
+	elapsed := time.Since(start)
+	putArena(ar)
+	return elapsed
+}

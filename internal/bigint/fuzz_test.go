@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-// Fuzz targets cross-checking the arena/Karatsuba kernels against math/big.
-// `go test` runs the seed corpus as regression tests; `go test -fuzz=FuzzNatMul
-// ./internal/bigint` explores further. Inputs arrive as big-endian byte
-// strings; an inflation step repeats them past the Karatsuba threshold so the
-// recursive kernel (not just schoolbook) is always exercised.
+// Fuzz targets cross-checking the arena-backed kernel ladder (schoolbook,
+// Karatsuba, NTT) against math/big. `go test` runs the seed corpus as
+// regression tests; `go test -fuzz=FuzzNatMul ./internal/bigint` explores
+// further. Inputs arrive as big-endian byte strings; inflation steps repeat
+// them past the live Karatsuba and NTT thresholds (ladder.go) so every rung
+// — not just schoolbook — is exercised on each input.
 
 // inflate deterministically stretches b past n bytes by repetition.
 func inflate(b []byte, n int) []byte {
@@ -21,11 +22,12 @@ func inflate(b []byte, n int) []byte {
 }
 
 func FuzzNatMul(f *testing.F) {
+	kt := karatsubaThresholdLimbs()
 	f.Add([]byte{}, []byte{})
 	f.Add([]byte{1}, []byte{0xff})
 	f.Add([]byte{0xff, 0xff, 0xff}, []byte{1, 0, 0, 0, 1})
-	f.Add(bytes.Repeat([]byte{0xff}, 8*karatsubaThreshold), bytes.Repeat([]byte{0xab}, 8*karatsubaThreshold))
-	f.Add(bytes.Repeat([]byte{0x80, 0}, 5*karatsubaThreshold), bytes.Repeat([]byte{1}, 3))
+	f.Add(bytes.Repeat([]byte{0xff}, 8*kt), bytes.Repeat([]byte{0xab}, 8*kt))
+	f.Add(bytes.Repeat([]byte{0x80, 0}, 5*kt), bytes.Repeat([]byte{1}, 3))
 	f.Fuzz(func(t *testing.T, ab, bb []byte) {
 		check := func(x, y *big.Int) {
 			got := FromBig(x).Mul(FromBig(y)).ToBig()
@@ -38,13 +40,35 @@ func FuzzNatMul(f *testing.F) {
 		y := new(big.Int).SetBytes(bb)
 		// Small (schoolbook) shapes as given...
 		check(x, y)
-		// ...and inflated past the Karatsuba threshold: balanced and
-		// unbalanced, so both karatsuba and the chunked mulTo path run.
-		bigLen := 8 * (2*karatsubaThreshold + 1)
+		// ...inflated past the Karatsuba threshold: balanced and unbalanced,
+		// so both karatsuba and the chunked mulTo path run...
+		bigLen := 8 * (2*karatsubaThresholdLimbs() + 1)
 		xl := new(big.Int).SetBytes(inflate(ab, bigLen))
 		yl := new(big.Int).SetBytes(inflate(bb, bigLen))
 		check(xl, yl)
 		check(xl, y)
+		// ...and, with the NTT rung pulled down to a fuzz-friendly size, into
+		// the NTT tier: balanced (pure NTT), unbalanced within one transform
+		// (len(x) < 2·len(y)), and chunked with NTT-sized blocks. Restoring
+		// the ladder keeps the other sub-checks on the production profile.
+		prev := CurrentLadder()
+		low := prev
+		low.NTTLimbs = 4 * low.KaratsubaLimbs
+		if err := SetLadder(low); err != nil {
+			t.Fatalf("SetLadder: %v", err)
+		}
+		defer func() {
+			if err := SetLadder(prev); err != nil {
+				t.Fatalf("restoring ladder: %v", err)
+			}
+		}()
+		nttLen := 8 * (low.NTTLimbs + 1)
+		xn := new(big.Int).SetBytes(inflate(ab, nttLen))
+		yn := new(big.Int).SetBytes(inflate(bb, nttLen))
+		check(xn, yn)
+		check(xn, yl)
+		xc := new(big.Int).SetBytes(inflate(ab, 3*nttLen))
+		check(xc, yn)
 	})
 }
 

@@ -145,7 +145,8 @@ func (x Int) Add(y Int) Int {
 // Sub returns x - y.
 func (x Int) Sub(y Int) Int { return x.Add(y.Neg()) }
 
-// Mul returns x * y using schoolbook multiplication.
+// Mul returns x * y via the kernel crossover ladder (schoolbook, Karatsuba,
+// or NTT depending on operand size; see ladder.go for the live thresholds).
 func (x Int) Mul(y Int) Int {
 	z := natMul(x.abs, y.abs)
 	if len(z) == 0 {

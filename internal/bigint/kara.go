@@ -2,14 +2,11 @@ package bigint
 
 import "math/bits"
 
-// karatsubaThreshold is the operand size, in limbs, above which natMul
-// switches from the schoolbook kernel to Karatsuba splitting. Below it the
-// O(n²) inner loop's locality wins; above it the O(n^1.585) recursion does.
-// Tuned on the benchmark harness (see cmd/benchjson and EXPERIMENTS.md):
-// 40 measured fastest on 32768-bit operands on amd64 (32 and 48 were up to
-// ~40% slower there, indistinguishable at 262144 bits), and it matches the
-// crossover math/big uses for the same limb width.
-const karatsubaThreshold = 40
+// The schoolbook → Karatsuba crossover lives in the calibration ladder
+// (ladder.go, karatsubaThresholdLimbs); it is not a constant here so that a
+// per-machine calibration.json can move it without this file and the docs
+// drifting apart. Tuning history: 40 measured fastest on 32768-bit operands
+// on amd64 (see cmd/benchjson and EXPERIMENTS.md).
 
 // basicMulTo adds x*y into z using the schoolbook algorithm. z must have
 // length >= len(x)+len(y); the product is accumulated (z += x*y), so callers
@@ -89,7 +86,7 @@ func addFull(z, x, y nat) {
 // so sibling branches reuse the same slab space.
 func karatsuba(z, x, y nat, ar *arena) {
 	n := len(x)
-	if n < karatsubaThreshold {
+	if n < karatsubaThresholdLimbs() {
 		basicMulTo(z, x, y)
 		return
 	}
@@ -114,13 +111,20 @@ func karatsuba(z, x, y nat, ar *arena) {
 }
 
 // mulTo writes x*y into the zeroed destination z (len(z) == len(x)+len(y),
-// len(x) >= len(y) >= 1). Balanced operands go straight to Karatsuba;
-// unbalanced ones are handled by chunking x into len(y)-limb blocks so every
-// recursive product is balanced (the standard fix, as in math/big).
+// len(x) >= len(y) >= 1), dispatching on the calibration ladder. Mildly
+// unbalanced NTT-eligible pairs (len(x) < 2·len(y)) go through a single
+// transform — cheaper than chunking, which would waste a near-empty second
+// block. More unbalanced operands are chunked into len(y)-limb blocks so
+// every recursive product is balanced (the standard fix, as in math/big);
+// each full block then takes the NTT or Karatsuba rung on its own merits.
 func mulTo(z, x, y nat, ar *arena) {
 	n := len(y)
-	if n < karatsubaThreshold {
+	if n < karatsubaThresholdLimbs() {
 		basicMulTo(z, x, y)
+		return
+	}
+	if len(x) < 2*n && nttEligible(len(x), n) {
+		nttMulTo(z, x, y, ar)
 		return
 	}
 	if len(x) == n {
@@ -137,7 +141,11 @@ func mulTo(z, x, y nat, ar *arena) {
 		xb := x[i:hi]
 		if len(xb) == n {
 			clear(t)
-			karatsuba(t, xb, y, ar)
+			if nttEligible(n, n) {
+				nttMulTo(t, xb, y, ar)
+			} else {
+				karatsuba(t, xb, y, ar)
+			}
 			addAt(z, t, i)
 		} else {
 			// Final short block: recurse with operands swapped so the
@@ -151,10 +159,28 @@ func mulTo(z, x, y nat, ar *arena) {
 	ar.release(mark)
 }
 
-// karaScratchFor returns a slab size that lets a top-level multiply with a
-// len(y)-limb shorter operand run without heap fallback: each Karatsuba
-// level needs ~2(n-m+1)+2 limbs of live scratch and the level sizes halve,
-// so 6n covers the whole path with room for the chunking buffers.
+// karaScratchFor returns a slab size that lets a top-level Karatsuba
+// multiply with a len(y)-limb shorter operand run without heap fallback:
+// each level needs ~2(n-m+1)+2 limbs of live scratch and the level sizes
+// halve, so 6n covers the whole path with room for the chunking buffers.
 func karaScratchFor(yLen int) int {
 	return 6*yLen + 64
+}
+
+// mulScratchFor returns a slab size covering whichever ladder rungs a
+// top-level len(x)×len(y) multiply can reach: the NTT tier's transform
+// buffers when it is eligible (directly, or per chunk plus the chunking
+// buffers t and tb of ≤ 2n limbs each), Karatsuba's recursion otherwise.
+func mulScratchFor(xLen, yLen int) int {
+	n := yLen
+	if xLen < 2*n {
+		if nttEligible(xLen, n) {
+			return nttScratchFor(xLen + n)
+		}
+		return karaScratchFor(n)
+	}
+	if nttEligible(n, n) {
+		return 4*n + nttScratchFor(2*n)
+	}
+	return karaScratchFor(n)
 }

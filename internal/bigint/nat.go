@@ -3,8 +3,10 @@
 // It is the scalar substrate for the Toom-Cook multiplication algorithms in
 // this repository: a multi-precision natural number is a little-endian slice
 // of 64-bit limbs, and a signed integer wraps a natural with a sign. The
-// multiplication kernel is schoolbook below karatsubaThreshold limbs and
-// Karatsuba above it (kara.go), with scratch drawn from a pooled limb arena
+// multiplication kernel is a crossover ladder — schoolbook, then Karatsuba
+// (kara.go), then a three-prime NTT (ntt.go, nttmul.go), with the crossover
+// points held in a calibration profile (ladder.go) rather than constants —
+// with scratch drawn from a pooled limb arena
 // (arena.go); the asymptotically faster Toom-Cook algorithms in
 // internal/toom are built on top of these primitives, mirroring the paper's
 // model in which the "hardware" provides multiplication of bounded-size
@@ -92,12 +94,12 @@ func natSub(x, y nat) nat {
 	return z.norm()
 }
 
-// natMul returns x * y. Small operands use the schoolbook kernel — the
-// paper's Θ(n²) "hardware multiply" and the base case beneath the Toom-Cook
-// recursion. Above karatsubaThreshold limbs it switches to Karatsuba
-// (kara.go) with arena-backed scratch, so large leaves (big thresholds, lazy
-// interpolation) are no longer quadratic. One heap allocation either way:
-// the result; all intermediates come from the per-call arena.
+// natMul returns x * y, climbing the calibration ladder (ladder.go). Small
+// operands use the schoolbook kernel — the paper's Θ(n²) "hardware multiply"
+// and the base case beneath the Toom-Cook recursion; mid-size operands use
+// Karatsuba (kara.go); large ones use the three-prime NTT (nttmul.go). All
+// tiers draw scratch from the pooled arena, so there is one heap allocation
+// regardless of rung: the result.
 func natMul(x, y nat) nat {
 	if len(x) == 0 || len(y) == 0 {
 		return nil
@@ -106,12 +108,12 @@ func natMul(x, y nat) nat {
 		x, y = y, x
 	}
 	z := make(nat, len(x)+len(y))
-	if len(y) < karatsubaThreshold {
+	if len(y) < karatsubaThresholdLimbs() {
 		basicMulTo(z, x, y)
 		return z.norm()
 	}
 	ar := getArena()
-	ar.ensure(karaScratchFor(len(y)))
+	ar.ensure(mulScratchFor(len(x), len(y)))
 	mulTo(z, x, y, ar)
 	putArena(ar)
 	return z.norm()

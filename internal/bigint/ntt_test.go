@@ -1,0 +1,144 @@
+package bigint
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// nttPrimeFactors lists the odd prime factors of p−1 for each nttPrime (the
+// 2-part is covered by the valuation check). Used to certify the primitive
+// roots: g is primitive iff g^((p−1)/q) ≠ 1 for every prime factor q of p−1.
+var nttPrimeFactors = [3][]uint64{
+	{29},    // p1 − 1 = 2^57 · 29
+	{163},   // p2 − 1 = 2^54 · 163
+	{3, 23}, // p3 − 1 = 2^55 · 3 · 23
+}
+
+// TestNTTPrimeProperties pins everything the transforms assume about the
+// moduli: primality, the 2-adic valuation s (root-of-unity range), the
+// p < 2^62 bound the lazy arithmetic needs, primitivity of g, and the
+// precomputed Montgomery/Shoup constants.
+func TestNTTPrimeProperties(t *testing.T) {
+	for i := range nttPrimes {
+		pr := &nttPrimes[i]
+		p := pr.p
+
+		if p >= 1<<62 {
+			t.Errorf("prime %d: p = %d ≥ 2^62, lazy arithmetic bound violated", i, p)
+		}
+		if !new(big.Int).SetUint64(p).ProbablyPrime(64) {
+			t.Errorf("prime %d: %d is not prime", i, p)
+		}
+		if got := uint(bits.TrailingZeros64(p - 1)); got != pr.s {
+			t.Errorf("prime %d: 2-adic valuation of p−1 = %d, field says %d", i, got, pr.s)
+		}
+
+		// g is a primitive root: g^((p−1)/2) ≠ 1 and g^((p−1)/q) ≠ 1 for the
+		// odd factors q.
+		if powMod(pr.g, (p-1)/2, p) == 1 {
+			t.Errorf("prime %d: g = %d not primitive (order divides (p−1)/2)", i, pr.g)
+		}
+		for _, q := range nttPrimeFactors[i] {
+			if (p-1)%q != 0 {
+				t.Fatalf("prime %d: factor table wrong, %d does not divide p−1", i, q)
+			}
+			if powMod(pr.g, (p-1)/q, p) == 1 {
+				t.Errorf("prime %d: g = %d not primitive (order divides (p−1)/%d)", i, pr.g, q)
+			}
+		}
+
+		// Montgomery constants: p·pInv ≡ −1 (mod 2^64) and r = 2^64 mod p.
+		if p*pr.pInv != ^uint64(0) {
+			t.Errorf("prime %d: pInv is not −p⁻¹ mod 2^64", i)
+		}
+		if _, rem := bits.Div64(1, 0, p); rem != pr.r {
+			t.Errorf("prime %d: r = %d, want 2^64 mod p = %d", i, pr.r, rem)
+		}
+	}
+
+	// The CRT capacity claim from the nttPrimes doc comment: p1·p2·p3 must
+	// exceed m·(2^64−1)² for every supported product length m (up to the
+	// 2^54-point transform cap), so reconstruction is exact.
+	prod := new(big.Int).SetUint64(nttPrimes[0].p)
+	prod.Mul(prod, new(big.Int).SetUint64(nttPrimes[1].p))
+	prod.Mul(prod, new(big.Int).SetUint64(nttPrimes[2].p))
+	limb := new(big.Int).SetUint64(^uint64(0))
+	worst := new(big.Int).Mul(limb, limb)
+	worst.Mul(worst, new(big.Int).Lsh(big.NewInt(1), 54))
+	if prod.Cmp(worst) <= 0 {
+		t.Errorf("p1·p2·p3 = %v does not bound 2^54 coefficients of (2^64−1)²", prod)
+	}
+}
+
+// TestNTTRoundTrip checks forward∘inverse = N·identity for each prime across
+// transform sizes, including sizes large enough to hit the parallel block
+// splitting when run with a multi-slot pool (TestNTTMulParallel covers that
+// wiring; here par is nil so the test isolates the scalar butterflies).
+func TestNTTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := range nttPrimes {
+		pr := &nttPrimes[i]
+		for _, n := range []int{2, 4, 8, 64, 1024, 1 << 14} {
+			a := make([]uint64, n)
+			orig := make([]uint64, n)
+			for j := range a {
+				a[j] = rng.Uint64() % pr.p
+				orig[j] = a[j]
+			}
+			pr.forward(a, nil)
+			pr.inverse(a, nil)
+			nModP := uint64(n) % pr.p
+			for j := range a {
+				got := a[j]
+				for got >= pr.p {
+					got -= pr.p
+				}
+				if want := mulMod(orig[j], nModP, pr.p); got != want {
+					t.Fatalf("prime %d, N=%d: roundtrip[%d] = %d, want N·x = %d", i, n, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNTTShoupRedc cross-checks the two fast multiplication primitives
+// against the exact mulMod on random operands, including the lazy-domain
+// extremes the butterflies feed them.
+func TestNTTShoupRedc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := range nttPrimes {
+		pr := &nttPrimes[i]
+		p := pr.p
+		for trial := 0; trial < 2000; trial++ {
+			x := rng.Uint64() // shoupMul takes any 64-bit x
+			w := rng.Uint64() % p
+			ws := shoupOf(w, p)
+			got := shoupMul(x, w, ws, p)
+			if got >= pr.twoP {
+				t.Fatalf("prime %d: shoupMul left lazy domain: %d ≥ 2p", i, got)
+			}
+			if got >= p {
+				got -= p
+			}
+			if want := mulMod(x%p, w, p); got != want {
+				t.Fatalf("prime %d: shoupMul(%d, %d) = %d, want %d", i, x, w, got, want)
+			}
+
+			a := rng.Uint64() % pr.twoP
+			b := rng.Uint64() % pr.twoP
+			gotR := redc(a, b, p, pr.pInv)
+			if gotR >= pr.twoP {
+				t.Fatalf("prime %d: redc left lazy domain: %d ≥ 2p", i, gotR)
+			}
+			if gotR >= p {
+				gotR -= p
+			}
+			// redc(a,b) = a·b·2^−64; multiply back by r = 2^64 to compare.
+			if want := mulMod(a%p, b%p, p); mulMod(gotR, pr.r, p) != want {
+				t.Fatalf("prime %d: redc(%d, %d)·R = %d, want %d", i, a, b, mulMod(gotR, pr.r, p), want)
+			}
+		}
+	}
+}

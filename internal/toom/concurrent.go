@@ -48,7 +48,7 @@ func (alg *Algorithm) mulAbsConcurrent(a, b bigint.Int, depth int) bigint.Int {
 	var wg sync.WaitGroup
 	for i := range prods {
 		i := i
-		leafPool.fork(&wg, func() {
+		leafPool.Fork(&wg, func() {
 			x, y := ea[i], eb[i]
 			n := x.Sign()*y.Sign() < 0
 			z := alg.mulAbsConcurrent(x.Abs(), y.Abs(), depth-1)

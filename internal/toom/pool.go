@@ -1,86 +1,14 @@
 package toom
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/workpool"
 
-// workerPool bounds the host parallelism of MulConcurrent. The seed
-// implementation spawned one goroutine per pointwise product at every
-// recursion level — (2k-1)^depth goroutines, a goroutine explosion at
-// depth ≥ 2 that drowned the measurable shared-memory speedup in scheduler
-// and GC pressure. The pool admits at most `size` concurrent workers via a
-// slot semaphore.
-//
-// Submission never blocks: fork runs the task inline when no slot is free.
-// That property is what makes the pool safe for *recursive* fan-out — a
-// worker that submits its own children and then joins them can never
-// deadlock waiting for a slot it is itself holding, the classic failure
-// mode of a fixed worker set with a blocking queue and nested joins. The
-// price is that a "task" may execute on its submitter's stack; the bound on
-// live workers (and hence on CPU oversubscription) is exact either way.
-type workerPool struct {
-	slots chan struct{}
-
-	// Telemetry for the pool tests and the benchmark harness.
-	active  atomic.Int64 // workers currently running
-	peak    atomic.Int64 // high-water mark of active
-	spawned atomic.Int64 // total worker goroutines ever started
-	inline  atomic.Int64 // tasks that ran on the submitter (no slot free)
-}
-
-func newWorkerPool(size int) *workerPool {
-	if size < 1 {
-		size = 1
-	}
-	return &workerPool{slots: make(chan struct{}, size)}
-}
-
-// leafPool is the shared process-wide pool used by MulConcurrent; all
-// concurrent multiplications draw from the same GOMAXPROCS slots, so nested
-// or simultaneous calls cannot oversubscribe the host.
-var leafPool = newWorkerPool(runtime.GOMAXPROCS(0))
-
-// fork runs fn, on a pooled worker goroutine when a slot is free and inline
-// otherwise. wg is incremented before the worker starts and released when fn
-// returns; inline execution completes before fork returns and touches wg
-// not at all.
-func (p *workerPool) fork(wg *sync.WaitGroup, fn func()) {
-	select {
-	case p.slots <- struct{}{}:
-		wg.Add(1)
-		p.spawned.Add(1)
-		//ftlint:allow poolspawn this is the bounded pool's own worker launch; admission is gated by the slot semaphore acquired above
-		go func() {
-			defer func() {
-				p.active.Add(-1)
-				<-p.slots
-				wg.Done()
-			}()
-			n := p.active.Add(1)
-			for {
-				cur := p.peak.Load()
-				if n <= cur || p.peak.CompareAndSwap(cur, n) {
-					break
-				}
-			}
-			fn()
-		}()
-	default:
-		p.inline.Add(1)
-		fn()
-	}
-}
-
-// resetStats zeroes the telemetry counters (test hook; racy against live
-// forks by design, so only call it while the pool is idle).
-func (p *workerPool) resetStats() {
-	p.active.Store(0)
-	p.peak.Store(0)
-	p.spawned.Store(0)
-	p.inline.Store(0)
-}
+// leafPool is the process-wide bounded worker pool (internal/workpool) used
+// by MulConcurrent. All concurrent multiplications — including the bigint
+// NTT kernels' butterfly fan-out — draw from the same GOMAXPROCS slots, so
+// nested or simultaneous calls cannot oversubscribe the host. The pool
+// itself lived in this package through PR 5; it moved to internal/workpool
+// so the kernel layer beneath us can share it without an import cycle.
+var leafPool = workpool.Shared()
 
 // PoolStats reports the shared worker pool's telemetry: the slot capacity,
 // the peak number of concurrently live workers, the total workers spawned,
@@ -88,5 +16,6 @@ func (p *workerPool) resetStats() {
 // the benchmark harness.
 func PoolStats() (capacity int, peak, spawned, inline int64) {
 	p := leafPool
-	return cap(p.slots), p.peak.Load(), p.spawned.Load(), p.inline.Load()
+	peak, spawned, inline = p.Stats()
+	return p.Capacity(), peak, spawned, inline
 }

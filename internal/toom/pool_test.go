@@ -21,7 +21,7 @@ func TestMulConcurrentPoolBounded(t *testing.T) {
 			alg := MustNew(k)
 			a := bigint.Random(rng, 1<<14)
 			b := bigint.Random(rng, 1<<14)
-			leafPool.resetStats()
+			leafPool.ResetStats()
 			got := alg.MulConcurrent(a, b, 2)
 			if want := alg.Mul(a, b); !got.Equal(want) {
 				t.Fatalf("MulConcurrent(depth=2) product mismatch")
@@ -82,41 +82,5 @@ func TestMulConcurrentSharedPoolRace(t *testing.T) {
 	}
 	if _, peak, _, _ := PoolStats(); peak > int64(max(runtime.GOMAXPROCS(0), 1)) {
 		t.Fatalf("pool peak %d exceeded GOMAXPROCS under contention", peak)
-	}
-}
-
-// TestWorkerPoolInlineFallback pins the no-deadlock property directly: a
-// pool with a single slot receiving nested submissions must run the
-// overflow inline and complete.
-func TestWorkerPoolInlineFallback(t *testing.T) {
-	p := newWorkerPool(1)
-	var outer sync.WaitGroup
-	ran := make([]bool, 8)
-	for i := range ran {
-		i := i
-		p.fork(&outer, func() {
-			var inner sync.WaitGroup
-			sub := make([]bool, 4)
-			for j := range sub {
-				j := j
-				p.fork(&inner, func() { sub[j] = true })
-			}
-			inner.Wait()
-			for j, ok := range sub {
-				if !ok {
-					t.Errorf("nested task %d/%d never ran", i, j)
-				}
-			}
-			ran[i] = true
-		})
-	}
-	outer.Wait()
-	for i, ok := range ran {
-		if !ok {
-			t.Errorf("task %d never ran", i)
-		}
-	}
-	if p.peak.Load() > 1 {
-		t.Fatalf("single-slot pool reached peak %d", p.peak.Load())
 	}
 }

@@ -1,0 +1,107 @@
+// Package workpool provides the bounded worker pool that all host-level
+// parallelism in this repository routes through. It began life as
+// internal/toom's pool (PR 1), bounding MulConcurrent's recursive fan-out;
+// it is a package of its own so the bigint NTT kernels — which internal/toom
+// itself depends on — can parallelize their butterfly stages through the
+// same process-wide GOMAXPROCS slots without an import cycle and without
+// spawning raw goroutines (the ftlint poolspawn analyzer enforces that
+// statically for every governed package, this one included).
+//
+// Submission never blocks: Fork runs the task inline when no slot is free.
+// That property is what makes the pool safe for *recursive* fan-out — a
+// worker that submits its own children and then joins them can never
+// deadlock waiting for a slot it is itself holding, the classic failure
+// mode of a fixed worker set with a blocking queue and nested joins. The
+// price is that a "task" may execute on its submitter's stack; the bound on
+// live workers (and hence on CPU oversubscription) is exact either way.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool admits at most a fixed number of concurrent workers via a slot
+// semaphore, running overflow tasks inline on the submitter.
+type Pool struct {
+	slots chan struct{}
+
+	// Telemetry for the pool tests and the benchmark harness.
+	active  atomic.Int64 // workers currently running
+	peak    atomic.Int64 // high-water mark of active
+	spawned atomic.Int64 // total worker goroutines ever started
+	inline  atomic.Int64 // tasks that ran on the submitter (no slot free)
+}
+
+// New returns a pool admitting at most size concurrent workers (minimum 1).
+func New(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{slots: make(chan struct{}, size)}
+}
+
+// shared is the process-wide pool: every concurrent multiplication — Toom
+// leaf fan-out and NTT butterfly stages alike — draws from the same
+// GOMAXPROCS slots, so nested or simultaneous calls cannot oversubscribe
+// the host.
+var shared = New(runtime.GOMAXPROCS(0))
+
+// Shared returns the process-wide GOMAXPROCS-sized pool.
+func Shared() *Pool { return shared }
+
+// Fork runs fn, on a pooled worker goroutine when a slot is free and inline
+// otherwise. wg is incremented before the worker starts and released when fn
+// returns; inline execution completes before Fork returns and touches wg
+// not at all.
+func (p *Pool) Fork(wg *sync.WaitGroup, fn func()) {
+	select {
+	case p.slots <- struct{}{}:
+		wg.Add(1)
+		p.spawned.Add(1)
+		//ftlint:allow poolspawn this is the bounded pool's own worker launch; admission is gated by the slot semaphore acquired above
+		go func() {
+			defer func() {
+				p.active.Add(-1)
+				<-p.slots
+				wg.Done()
+			}()
+			n := p.active.Add(1)
+			for {
+				cur := p.peak.Load()
+				if n <= cur || p.peak.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+			fn()
+		}()
+	default:
+		p.inline.Add(1)
+		fn()
+	}
+}
+
+// Capacity returns the slot count (the bound on concurrently live workers).
+func (p *Pool) Capacity() int { return cap(p.slots) }
+
+// Idle reports whether a fork right now would run inline for lack of a free
+// slot. It is advisory (another submitter may take the slot first); kernels
+// use it to skip building parallel partitions when the pool is saturated.
+func (p *Pool) Idle() bool { return len(p.slots) < cap(p.slots) }
+
+// Stats reports the pool's telemetry: the peak number of concurrently live
+// workers, the total workers spawned, and how many tasks ran inline on
+// their submitter.
+func (p *Pool) Stats() (peak, spawned, inline int64) {
+	return p.peak.Load(), p.spawned.Load(), p.inline.Load()
+}
+
+// ResetStats zeroes the telemetry counters (test hook; racy against live
+// forks by design, so only call it while the pool is idle).
+func (p *Pool) ResetStats() {
+	p.active.Store(0)
+	p.peak.Store(0)
+	p.spawned.Store(0)
+	p.inline.Store(0)
+}

@@ -1,0 +1,81 @@
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestInlineFallback pins the no-deadlock property directly: a pool with a
+// single slot receiving nested submissions must run the overflow inline and
+// complete.
+func TestInlineFallback(t *testing.T) {
+	p := New(1)
+	var outer sync.WaitGroup
+	ran := make([]bool, 8)
+	for i := range ran {
+		i := i
+		p.Fork(&outer, func() {
+			var inner sync.WaitGroup
+			sub := make([]bool, 4)
+			for j := range sub {
+				j := j
+				p.Fork(&inner, func() { sub[j] = true })
+			}
+			inner.Wait()
+			for j, ok := range sub {
+				if !ok {
+					t.Errorf("nested task %d/%d never ran", i, j)
+				}
+			}
+			ran[i] = true
+		})
+	}
+	outer.Wait()
+	for i, ok := range ran {
+		if !ok {
+			t.Errorf("task %d never ran", i)
+		}
+	}
+	if peak, _, _ := p.Stats(); peak > 1 {
+		t.Fatalf("single-slot pool reached peak %d", peak)
+	}
+}
+
+// TestSharedCapacity pins the process-wide pool to GOMAXPROCS slots.
+func TestSharedCapacity(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	if want < 1 {
+		want = 1
+	}
+	if got := Shared().Capacity(); got != want {
+		t.Fatalf("Shared().Capacity() = %d, want GOMAXPROCS = %d", got, want)
+	}
+}
+
+// TestStatsAccounting checks that every submission lands in exactly one of
+// spawned or inline, that all tasks run, and that the peak never exceeds
+// capacity.
+func TestStatsAccounting(t *testing.T) {
+	p := New(2)
+	var wg sync.WaitGroup
+	const tasks = 64
+	var ran [tasks]bool
+	for i := 0; i < tasks; i++ {
+		i := i
+		p.Fork(&wg, func() { ran[i] = true })
+	}
+	wg.Wait()
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+	peak, spawned, inline := p.Stats()
+	if spawned+inline != tasks {
+		t.Fatalf("spawned(%d)+inline(%d) != %d submissions", spawned, inline, tasks)
+	}
+	if peak > int64(p.Capacity()) {
+		t.Fatalf("peak %d exceeds capacity %d", peak, p.Capacity())
+	}
+}
