@@ -8,8 +8,9 @@ build:
 test:
 	$(GO) test ./...
 
-# Machine-checked invariants: the eight ftlint analyzers (arenasafe, accown,
-# poolspawn, natalias, costcharge, chanproto, statsrace, recoverpath) plus
+# Machine-checked invariants: the ten ftlint analyzers (arenasafe, accown,
+# poolspawn, natalias, costcharge, chanproto, statsrace, recoverpath,
+# modbound, tagflow) plus
 # the stale-suppression audit, over the whole tree — including
 # internal/analysis itself. See DESIGN.md "Machine-checked invariants".
 # Fixture packages under testdata are not go-list packages, so ./... never

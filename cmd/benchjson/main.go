@@ -22,8 +22,12 @@
 // baseline: a mean ns/op more than 25% above the baseline on a benchmark
 // whose allocs/op is unchanged makes the command exit nonzero (an allocs/op
 // change is reported but does not gate — it marks an intentional behavior
-// change the ns/op comparison can't judge). The CI job wired to `make
-// benchgate` is advisory: shared runners are too noisy for a hard gate.
+// change the ns/op comparison can't judge). When the baseline's recorded CPU
+// model or cpufreq governor differs from the fresh run's, ns/op regressions
+// are downgraded to warnings and the exit stays clean: the two snapshots were
+// not measured on comparable hardware terms, and an "environment changed"
+// diagnostic says which fields moved. The CI job wired to `make benchgate`
+// is advisory: shared runners are too noisy for a hard gate.
 //
 // The command shells out to the local go toolchain; it adds no dependencies.
 package main
@@ -34,6 +38,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/exec"
@@ -224,6 +229,30 @@ func runGate(path string, fresh Snapshot) int {
 		fmt.Fprintf(os.Stderr, "benchjson: gate baseline %s: %v\n", path, err)
 		os.Exit(1)
 	}
+	return gateDiff(base, fresh, path, os.Stdout)
+}
+
+// envDiffs lists the environment fields that make the baseline's ns/op
+// numbers incomparable to the fresh run's: a different CPU model or cpufreq
+// governor changes what a nanosecond of work means. A field empty on either
+// side (older snapshot, non-Linux host) is no evidence of a change.
+func envDiffs(base, fresh benchenv.Env) []string {
+	var diffs []string
+	if base.CPUModel != "" && fresh.CPUModel != "" && base.CPUModel != fresh.CPUModel {
+		diffs = append(diffs, fmt.Sprintf("cpu model %q → %q", base.CPUModel, fresh.CPUModel))
+	}
+	if base.Governor != "" && fresh.Governor != "" && base.Governor != fresh.Governor {
+		diffs = append(diffs, fmt.Sprintf("cpufreq governor %q → %q", base.Governor, fresh.Governor))
+	}
+	return diffs
+}
+
+// gateDiff is runGate minus the file loading, testable in-process. When the
+// recorded environments differ on CPU model or governor, ns/op regressions
+// are downgraded to warnings — the baseline's nanoseconds were measured on
+// different hardware terms — and the exit stays clean.
+func gateDiff(base, fresh Snapshot, path string, w io.Writer) int {
+	envChanged := envDiffs(base.Environment, fresh.Environment)
 	baseByName := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseByName[r.Name] = r
@@ -243,7 +272,7 @@ func runGate(path string, fresh Snapshot) int {
 		cur := freshByName[name]
 		old, ok := baseByName[name]
 		if !ok {
-			fmt.Printf("gate: NEW        %-60s %12.0f ns/op\n", name, cur.Metrics["ns/op"])
+			fmt.Fprintf(w, "gate: NEW        %-60s %12.0f ns/op\n", name, cur.Metrics["ns/op"])
 			continue
 		}
 		oldNs, curNs := old.Metrics["ns/op"], cur.Metrics["ns/op"]
@@ -256,27 +285,36 @@ func runGate(path string, fresh Snapshot) int {
 		}
 		switch {
 		case !allocsStable:
-			fmt.Printf("gate: ALLOCS     %-60s %12.1f → %-12.1f allocs/op (ns/op %+.1f%%, not gated)\n",
+			fmt.Fprintf(w, "gate: ALLOCS     %-60s %12.1f → %-12.1f allocs/op (ns/op %+.1f%%, not gated)\n",
 				name, oldAllocs, curAllocs, 100*rel)
 		case rel > gateThreshold:
+			if len(envChanged) > 0 {
+				fmt.Fprintf(w, "gate: WARN slower %-59s %12.0f → %-12.0f ns/op (%+.1f%% > +%.0f%%, not gated: environment changed)\n",
+					name, oldNs, curNs, 100*rel, 100*gateThreshold)
+				continue
+			}
 			regressions++
-			fmt.Printf("gate: REGRESSED  %-60s %12.0f → %-12.0f ns/op (%+.1f%% > +%.0f%%)\n",
+			fmt.Fprintf(w, "gate: REGRESSED  %-60s %12.0f → %-12.0f ns/op (%+.1f%% > +%.0f%%)\n",
 				name, oldNs, curNs, 100*rel, 100*gateThreshold)
 		default:
-			fmt.Printf("gate: ok         %-60s %12.0f → %-12.0f ns/op (%+.1f%%)\n",
+			fmt.Fprintf(w, "gate: ok         %-60s %12.0f → %-12.0f ns/op (%+.1f%%)\n",
 				name, oldNs, curNs, 100*rel)
 		}
 	}
 	for name := range baseByName {
 		if _, ok := freshByName[name]; !ok {
-			fmt.Printf("gate: MISSING    %-60s (in baseline %s only)\n", name, path)
+			fmt.Fprintf(w, "gate: MISSING    %-60s (in baseline %s only)\n", name, path)
 		}
 	}
+	if len(envChanged) > 0 {
+		fmt.Fprintf(w, "gate: environment changed (%s): ns/op comparisons are advisory, regressions reported as warnings, not gated\n",
+			strings.Join(envChanged, "; "))
+	}
 	if regressions > 0 {
-		fmt.Printf("gate: %d regression(s) vs %s (>%.0f%% ns/op at stable allocs/op)\n",
+		fmt.Fprintf(w, "gate: %d regression(s) vs %s (>%.0f%% ns/op at stable allocs/op)\n",
 			regressions, path, 100*gateThreshold)
 	} else {
-		fmt.Printf("gate: clean vs %s\n", path)
+		fmt.Fprintf(w, "gate: clean vs %s\n", path)
 	}
 	return regressions
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/benchenv"
+)
+
+// snap builds a one-benchmark snapshot with the given ns/op and environment.
+func snap(ns float64, env benchenv.Env) Snapshot {
+	return Snapshot{
+		Environment: env,
+		Results: []Result{{
+			Name:    "BenchmarkMul/bits=4096",
+			Family:  "Mul",
+			Metrics: map[string]float64{"ns/op": ns, "allocs/op": 3},
+		}},
+	}
+}
+
+var (
+	envA = benchenv.Env{CPUModel: "AMD EPYC 7B13", Governor: "performance"}
+	envB = benchenv.Env{CPUModel: "Intel Xeon 8481C", Governor: "performance"}
+)
+
+// TestGateRegressionSameEnv pins the hard gate: a >25% ns/op growth at
+// stable allocs/op on the same machine counts as a regression.
+func TestGateRegressionSameEnv(t *testing.T) {
+	var out bytes.Buffer
+	got := gateDiff(snap(1000, envA), snap(1400, envA), "BASE.json", &out)
+	if got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "gate: REGRESSED") {
+		t.Errorf("output lacks REGRESSED line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "environment changed") {
+		t.Errorf("same-env run claims the environment changed:\n%s", out.String())
+	}
+}
+
+// TestGateEnvGuard covers the downgrade: the same 40% slowdown measured on a
+// different CPU model (or governor) is a warning, not a gating regression,
+// and the diagnostic names the field that moved.
+func TestGateEnvGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		base benchenv.Env
+		diag string
+	}{
+		{"cpu model", envB, "cpu model"},
+		{"governor", benchenv.Env{CPUModel: envA.CPUModel, Governor: "powersave"}, "cpufreq governor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			got := gateDiff(snap(1000, tc.base), snap(1400, envA), "BASE.json", &out)
+			if got != 0 {
+				t.Fatalf("regressions = %d, want 0 (env changed)\n%s", got, out.String())
+			}
+			s := out.String()
+			if !strings.Contains(s, "gate: WARN slower") {
+				t.Errorf("output lacks the WARN slower line:\n%s", s)
+			}
+			if strings.Contains(s, "gate: REGRESSED") {
+				t.Errorf("env-changed run still hard-gates:\n%s", s)
+			}
+			if !strings.Contains(s, "environment changed") || !strings.Contains(s, tc.diag) {
+				t.Errorf("diagnostic missing or does not name %q:\n%s", tc.diag, s)
+			}
+		})
+	}
+}
+
+// TestGateEmptyEnvStillGates: a field missing on either side (older snapshot,
+// non-Linux host) is no evidence the machine changed — the gate stays hard.
+func TestGateEmptyEnvStillGates(t *testing.T) {
+	var out bytes.Buffer
+	got := gateDiff(snap(1000, benchenv.Env{}), snap(1400, envA), "BASE.json", &out)
+	if got != 1 {
+		t.Fatalf("regressions = %d, want 1 (empty baseline env must not disarm the gate)\n%s", got, out.String())
+	}
+	if strings.Contains(out.String(), "environment changed") {
+		t.Errorf("empty baseline env reported as changed:\n%s", out.String())
+	}
+}
+
+// TestGateEnvGuardDoesNotMaskAllocs: an allocs/op change is its own category
+// and must survive the env downgrade untouched.
+func TestGateEnvGuardDoesNotMaskAllocs(t *testing.T) {
+	base, fresh := snap(1000, envB), snap(1400, envA)
+	fresh.Results[0].Metrics["allocs/op"] = 7
+	var out bytes.Buffer
+	got := gateDiff(base, fresh, "BASE.json", &out)
+	if got != 0 {
+		t.Fatalf("regressions = %d, want 0 (allocs changes never gate)\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "gate: ALLOCS") {
+		t.Errorf("allocs/op change not reported:\n%s", out.String())
+	}
+}
+
+// TestGateCleanSameEnv: under-threshold drift on the same machine stays the
+// quiet path — one ok line, a clean summary, exit 0.
+func TestGateCleanSameEnv(t *testing.T) {
+	var out bytes.Buffer
+	got := gateDiff(snap(1000, envA), snap(1100, envA), "BASE.json", &out)
+	if got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "gate: clean vs BASE.json") {
+		t.Errorf("output lacks the clean summary:\n%s", out.String())
+	}
+}
+
+// TestParseBenchOutput pins the generic value/unit capture, including a
+// custom b.ReportMetric unit.
+func TestParseBenchOutput(t *testing.T) {
+	raw := []byte(`goos: linux
+BenchmarkMul/bits=4096-8   	     100	     9876 ns/op	      12 B/op	       3 allocs/op	      42.5 F/op
+PASS
+`)
+	rs := parseBenchOutput(raw)
+	if len(rs) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.Name != "BenchmarkMul/bits=4096" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be trimmed)", r.Name)
+	}
+	if r.Iterations != 100 {
+		t.Errorf("iterations = %d, want 100", r.Iterations)
+	}
+	want := map[string]float64{"ns/op": 9876, "B/op": 12, "allocs/op": 3, "F/op": 42.5}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}

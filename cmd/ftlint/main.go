@@ -6,9 +6,15 @@
 // (natalias, including through forwarding wrappers), F/BW/L cost charging
 // (costcharge, with charge reachability verified through helpers),
 // simulator channel discipline (chanproto), Stats-counter races from
-// workers (statsrace), and the Section-4 fault-recovery path (recoverpath:
+// workers (statsrace), the Section-4 fault-recovery path (recoverpath:
 // recovery errors must be checked, recovery handlers must not spawn raw
-// goroutines or allocate from caller-held arenas). The run also audits the
+// goroutines or allocate from caller-held arenas), and — since PR 7, on
+// the framework's interval abstract interpretation — the NTT kernel's
+// lazy-arithmetic contracts (modbound: every lazy store provably in
+// [0, 2p), Shoup/REDC preconditions, no uint64 wraparound, strict
+// reduction before CRT recombination) and value-level tag-protocol safety
+// (tagflow: constant-folded send/recv pairing and branch-divergent barrier
+// phases). The run also audits the
 // //ftlint:allow comments themselves: an allow that names an unknown
 // analyzer or no longer suppresses anything is a finding (allowaudit). See
 // DESIGN.md "Machine-checked invariants".
@@ -38,10 +44,12 @@ import (
 	"repro/internal/analysis/chanproto"
 	"repro/internal/analysis/costcharge"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/modbound"
 	"repro/internal/analysis/natalias"
 	"repro/internal/analysis/poolspawn"
 	"repro/internal/analysis/recoverpath"
 	"repro/internal/analysis/statsrace"
+	"repro/internal/analysis/tagflow"
 )
 
 var analyzers = []*framework.Analyzer{
@@ -53,6 +61,8 @@ var analyzers = []*framework.Analyzer{
 	chanproto.Analyzer,
 	statsrace.Analyzer,
 	recoverpath.Analyzer,
+	modbound.Analyzer,
+	tagflow.Analyzer,
 }
 
 // jsonFinding is one entry of the -json report. The schema is covered by

@@ -139,9 +139,9 @@ func TestJSONGolden(t *testing.T) {
 			t.Errorf("active finding carries suppressed_by: %+v", f)
 		}
 	}
-	for _, want := range []string{"accown", "natalias"} {
+	for _, want := range []string{"accown", "natalias", "modbound", "tagflow"} {
 		if !seen[want] {
-			t.Errorf("no %s finding in report; dirty/dirty.go seeds one", want)
+			t.Errorf("no %s finding in report; the lintme fixtures seed one", want)
 		}
 	}
 	if len(report.Suppressed) == 0 {

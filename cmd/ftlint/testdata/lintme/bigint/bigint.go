@@ -1,0 +1,27 @@
+// Seeds one modbound finding: the butterfly drops the conditional subtract
+// on the + leg, so the store into the lazy buffer is only provably below
+// 4p−2, not 2p.
+package bigint
+
+type nttPrime struct {
+	p, twoP uint64
+}
+
+var nttPrimes = [1]nttPrime{
+	{p: 4179340454199820289},
+}
+
+func shoupMul(x, w, wShoup, p uint64) uint64 { return 0 }
+
+func (pr *nttPrime) forwardRange(a []uint64, i0, i1, half int, rot, rotShoup uint64) {
+	p, twoP := pr.p, pr.twoP
+	for i := i0; i < i1; i++ {
+		l := a[i]
+		t := shoupMul(a[i+half], rot, rotShoup, p)
+		u1 := l + twoP - t
+		if u1 >= twoP {
+			u1 -= twoP
+		}
+		a[i], a[i+half] = l+t, u1 // modbound: l+t can reach 4p-2
+	}
+}

@@ -1,0 +1,22 @@
+// Seeds one tagflow finding: every send tag folds, and the second receive
+// waits for a value no send can produce. The paired round keeps chanproto
+// quiet — its orphan check looks at the send side.
+package machine
+
+type Payload []float64
+
+type Proc struct{}
+
+func (p *Proc) Send(to int, tag string, payload Payload) error { return nil }
+func (p *Proc) Recv(from int, tag string) (Payload, error)     { return nil, nil }
+
+const tagUp = "up/0"
+
+func roundUp(p *Proc) {
+	_ = p.Send(1, tagUp, nil)
+	_, _ = p.Recv(0, tagUp)
+}
+
+func waitRetired(p *Proc) {
+	_, _ = p.Recv(0, "retired/0") // tagflow: no send can produce this tag
+}

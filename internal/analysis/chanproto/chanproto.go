@@ -3,13 +3,15 @@
 // internal/ftparallel):
 //
 //   - every Proc.Send must have a matching receive somewhere in the same
-//     package: a Send whose tag expression never appears in a
-//     Recv/RecvInts/RecvDeadline call produces a message nothing will ever
-//     consume (it sits in the per-pair buffer until the run ends and the
-//     cost model silently under-charges the receive side). Tags are compared
-//     as expression text, so `tag+"/down"` on the send side pairs with
-//     `tag+"/down"` on the receive side and fmt.Sprintf patterns pair with
-//     their textual twins;
+//     package: a Send whose tag no Recv/RecvInts/RecvDeadline call can name
+//     produces a message nothing will ever consume (it sits in the per-pair
+//     buffer until the run ends and the cost model silently under-charges
+//     the receive side). Tags are compared by constant-folded value when
+//     the type checker knows both sides (so a literal pairs with the
+//     constant naming it, and two same-named constants with different
+//     values do NOT pair), falling back to expression text when either
+//     side is symbolic, so `tag+"/down"` still pairs with `tag+"/down"`
+//     and fmt.Sprintf patterns with their textual twins;
 //   - no Proc communication may be reachable after Machine.Run has returned
 //     in the same function — Run tears the machine down, so a later
 //     Send/Recv can never complete. This is a forward dataflow fact over the
@@ -76,24 +78,34 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// tagText renders a tag argument position-independently, so the same
-// expression on the send and receive side compares equal.
-func tagText(call *ast.CallExpr) (string, bool) {
+// tagSite is one communication call's tag: its rendered text always, and
+// its constant-folded value when the type checker knows one.
+type tagSite struct {
+	pos    token.Pos
+	text   string
+	val    string
+	folded bool
+}
+
+// tagOf captures the tag argument of a communication call.
+func tagOf(pass *framework.Pass, call *ast.CallExpr) (tagSite, bool) {
 	if len(call.Args) < 2 {
-		return "", false
+		return tagSite{}, false
 	}
-	return types.ExprString(call.Args[1]), true
+	arg := call.Args[1]
+	s := tagSite{pos: call.Pos(), text: types.ExprString(arg)}
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+		s.val, s.folded = tv.Value.ExactString(), true
+	}
+	return s, true
 }
 
 // checkTagPairing collects every Proc.Send tag in the package and reports the
-// ones no Recv variant ever names.
+// ones no Recv variant can consume. Folded tags pair by value; a pair where
+// either side is symbolic falls back to text equality. Two sides that both
+// fold to different values never pair, however identical they read.
 func checkTagPairing(pass *framework.Pass) {
-	type sendSite struct {
-		pos token.Pos
-		tag string
-	}
-	var sends []sendSite
-	recvTags := make(map[string]bool)
+	var sends, recvs []tagSite
 
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -105,23 +117,43 @@ func checkTagPairing(pass *framework.Pass) {
 			if callee == nil || !procComm[callee.Name] {
 				return true
 			}
-			tag, ok := tagText(call)
+			tag, ok := tagOf(pass, call)
 			if !ok {
 				return true
 			}
 			if callee.Name == "Send" {
-				sends = append(sends, sendSite{call.Pos(), tag})
+				sends = append(sends, tag)
 			} else {
-				recvTags[tag] = true
+				recvs = append(recvs, tag)
 			}
 			return true
 		})
 	}
 
-	for _, s := range sends {
-		if !recvTags[s.tag] {
-			pass.Reportf(s.pos, "Proc.Send with tag %s has no matching Recv in package %s: the message can never be consumed", s.tag, pass.Path)
+	recvVals := make(map[string]bool)
+	// recvTextSym holds texts of receives the folder could not evaluate: a
+	// symbolic receive can consume whatever its textual twin sends.
+	recvTextSym := make(map[string]bool)
+	recvTexts := make(map[string]bool)
+	for _, r := range recvs {
+		recvTexts[r.text] = true
+		if r.folded {
+			recvVals[r.val] = true
+		} else {
+			recvTextSym[r.text] = true
 		}
+	}
+
+	for _, s := range sends {
+		switch {
+		case s.folded && recvVals[s.val]:
+			continue // value-paired
+		case recvTextSym[s.text]:
+			continue // symbolic receive, textual twin
+		case !s.folded && recvTexts[s.text]:
+			continue // symbolic send, textual twin
+		}
+		pass.Reportf(s.pos, "Proc.Send with tag %s has no matching Recv in package %s: the message can never be consumed", s.text, pass.Path)
 	}
 }
 

@@ -37,6 +37,33 @@ func orphanSend(p *Proc, x Ints) {
 	_ = p.Send(1, "orphan/tag", x) // want "no matching Recv"
 }
 
+// shadowedSend/shadowedRecv: the tag constants read identically — same
+// name, same expression text — but bind different values in their scopes.
+// Textual pairing called these matched; value folding proves they never
+// are.
+func shadowedSend(p *Proc, x Ints) {
+	const tag = "shadow/a"
+	_ = p.Send(1, tag, x) // want "no matching Recv"
+}
+
+func shadowedRecv(p *Proc) {
+	const tag = "shadow/b"
+	_, _ = p.RecvInts(0, tag)
+}
+
+// crossNamed: a literal send tag pairs with a receive naming it through a
+// constant — value folding sees through the different spellings, where
+// text pairing would have reported a false orphan.
+const crossTag = "cross/named"
+
+func crossNamedSend(p *Proc, x Ints) {
+	_ = p.Send(1, "cross/named", x)
+}
+
+func crossNamedRecv(p *Proc) {
+	_, _ = p.RecvInts(0, crossTag)
+}
+
 // sendAfterRun: once Run returns the machine is torn down. The send inside
 // the worker closure is fine (it runs during the simulation); the host-level
 // send after Run can never complete.

@@ -66,6 +66,8 @@ type CallGraph struct {
 	// SCCs lists the strongly connected components in bottom-up order:
 	// every component appears after all components it calls into.
 	SCCs [][]*CGNode
+
+	sccSize map[string]int // lazily built by SCCSize
 }
 
 // NewCallGraph builds the graph and its SCC condensation.
@@ -93,6 +95,21 @@ func NewCallGraph(pkgs []*Package) *CallGraph {
 	}
 	g.condense()
 	return g
+}
+
+// SCCSize returns the number of functions in the strongly connected
+// component containing key — 1 for non-recursive functions, >1 for members
+// of a mutual-recursion cycle (0 for keys outside the graph).
+func (g *CallGraph) SCCSize(key string) int {
+	if g.sccSize == nil {
+		g.sccSize = make(map[string]int, len(g.Nodes))
+		for _, comp := range g.SCCs {
+			for _, n := range comp {
+				g.sccSize[n.Key] = len(comp)
+			}
+		}
+	}
+	return g.sccSize[key]
 }
 
 // condense runs Tarjan's algorithm. Components are emitted callees-first,

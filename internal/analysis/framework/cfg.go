@@ -36,6 +36,18 @@ type Block struct {
 	Nodes []ast.Node
 	Succs []*Block
 	Preds []*Block
+
+	// Branch is the boolean condition this block ends on, when the block's
+	// out-edges are condition-directed: the condition of an if statement or
+	// of a for statement with a Cond clause. TrueSucc/FalseSucc name the
+	// successor taken when Branch evaluates true/false. All three are nil
+	// for blocks whose successors are not condition-directed (switch
+	// headers, range heads, joins). Flow analyses that understand the
+	// condition (the interval engine's FlowSpec.EdgeTransfer) use these to
+	// refine the fact flowing along each edge.
+	Branch    ast.Expr
+	TrueSucc  *Block
+	FalseSucc *Block
 }
 
 // String renders a compact description for tests and debugging.
@@ -177,6 +189,8 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		then := b.newBlock("if.then")
 		if cond != nil {
 			addEdge(cond, then)
+			cond.Branch = s.Cond
+			cond.TrueSucc = then
 		}
 		b.cur = then
 		b.stmtList(s.Body.List)
@@ -185,12 +199,14 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 			els := b.newBlock("if.else")
 			if cond != nil {
 				addEdge(cond, els)
+				cond.FalseSucc = els
 			}
 			b.cur = els
 			b.stmt(s.Else)
 			b.edgeFromCur(join)
 		} else if cond != nil {
 			addEdge(cond, join)
+			cond.FalseSucc = join
 		}
 		b.cur = join
 
@@ -209,6 +225,9 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 		addEdge(head, body)
 		if s.Cond != nil {
 			addEdge(head, done)
+			head.Branch = s.Cond
+			head.TrueSucc = body
+			head.FalseSucc = done
 		}
 		// continue re-runs Post (when present) before looping to head.
 		contTo := head

@@ -27,6 +27,13 @@ type FlowSpec[F any] struct {
 	// before it (for a backward problem: the fact before b given the fact
 	// after it). It must be pure — report findings in a separate pass.
 	Transfer func(b *Block, in F) F
+	// EdgeTransfer, when non-nil, filters the fact flowing along the
+	// from→to edge before it joins into to's input. A forward analysis that
+	// understands branch conditions uses from.Branch/TrueSucc/FalseSucc to
+	// refine the fact per edge (the interval engine's conditional-subtract
+	// refinement); for a backward problem "from" is the flow-source block,
+	// i.e. the CFG successor. Must be pure and monotone in f.
+	EdgeTransfer func(from, to *Block, f F) F
 }
 
 // FlowResult holds the per-block fixpoint facts. For a forward problem In is
@@ -77,7 +84,11 @@ func solve[F any](g *CFG, spec FlowSpec[F], boundary *Block, sources, sinks func
 			in = spec.Boundary()
 		}
 		for _, p := range sources(b) {
-			in = spec.Join(in, res.Out[p])
+			f := res.Out[p]
+			if spec.EdgeTransfer != nil {
+				f = spec.EdgeTransfer(p, b, f)
+			}
+			in = spec.Join(in, f)
 		}
 		out := spec.Transfer(b, in)
 		if spec.Equal(in, res.In[b]) && spec.Equal(out, res.Out[b]) {

@@ -159,6 +159,17 @@ type Summary struct {
 	// KernelCalls records nat-kernel operand forwarding for natalias.
 	KernelCalls []KernelCall
 
+	// Returns bounds the function's single unsigned-integer result, derived
+	// bottom-up over the condensation by abstractly evaluating every return
+	// expression with unconstrained parameters. The full interval means "no
+	// bound". Recursive functions (any member of a non-trivial SCC, or a
+	// self-caller) keep the full interval: the bounded SCC iteration may
+	// stop before a cyclic Returns chain converges, and an unconverged
+	// bound would be a false claim. The interval engine (interval.go) uses
+	// Returns as its call fallback, which is how constant-deriving helpers
+	// flow through modbound without per-function axioms.
+	Returns Interval
+
 	node *CGNode
 }
 
@@ -278,6 +289,7 @@ func newSummary(n *CGNode) *Summary {
 		Key:     n.Key,
 		Name:    n.Fn.Name(),
 		PkgPath: n.Pkg.Path,
+		Returns: FullInterval(),
 		node:    n,
 	}
 	sig, _ := n.Fn.Type().(*types.Signature)
@@ -371,6 +383,7 @@ func (s *Summaries) compute(n *CGNode) bool {
 
 	s.computeOwnership(n, sum, sig)
 	s.computeKernelForwarding(n, sum, sig)
+	sum.Returns = s.computeReturns(n, sig)
 
 	if len(sum.Params) != len(oldParams) {
 		return true
@@ -385,7 +398,43 @@ func (s *Summaries) compute(n *CGNode) bool {
 		sum.RecoveryErr != old.RecoveryErr ||
 		sum.SpawnsGo != old.SpawnsGo ||
 		sum.AllocsArenaParam != old.AllocsArenaParam ||
+		!sum.Returns.Equal(old.Returns) ||
 		len(sum.KernelCalls) != oldKernels
+}
+
+// computeReturns derives the Returns bound: the join of the abstract values
+// of every top-level return expression, evaluated under an empty environment
+// (parameters unconstrained) with callee bounds taken from the summaries
+// computed so far. Only single-result functions of unsigned integer type get
+// a bound; recursion keeps the full interval (see the field comment).
+func (s *Summaries) computeReturns(n *CGNode, sig *types.Signature) Interval {
+	if sig.Results().Len() != 1 || !isUnsignedType(sig.Results().At(0).Type()) {
+		return FullInterval()
+	}
+	if n.Calls[n.Key] || s.Graph.SCCSize(n.Key) > 1 {
+		return FullInterval() // recursion: the bounded iteration may not converge
+	}
+	ev := &IntervalEval{Info: n.Pkg.Info, Summaries: s}
+	env := NewIntervalEnv()
+	out := EmptyInterval()
+	sawReturn := false
+	InspectShallow(n.Decl.Body, func(m ast.Node) bool {
+		ret, ok := m.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) != 1 {
+			out = FullInterval() // naked return: named result untracked
+			return true
+		}
+		out = out.Join(ev.Eval(ret.Results[0], env))
+		return true
+	})
+	if !sawReturn {
+		return FullInterval() // panics or infinite loop: no value to bound
+	}
+	return out
 }
 
 // paramObjects maps each tracked parameter's types.Object to its index.

@@ -1,0 +1,243 @@
+// Package tagflow checks tag-protocol safety of the simulator's message
+// passing on constant-propagated values, complementing chanproto's textual
+// pairing:
+//
+//   - a Recv variant whose tag folds to a constant no Send in the package
+//     can produce is an orphan receive: the process blocks on a message
+//     that never arrives (a deadlock under the simulator, a stall until
+//     teardown on the wall clock). The check only claims anything when
+//     every send tag in the package also folds — one symbolic send tag can
+//     produce any value, so the package goes conservatively silent;
+//   - a send and receive whose tag expressions render to the same text but
+//     fold to different constants are a fold divergence: chanproto's
+//     textual pairing would call them matched while the runtime values can
+//     never meet. This is the failure mode of same-named constants with
+//     different values in different scopes;
+//   - an if/else whose two branches both reach Barrier calls but on
+//     different folded phase sets is a deadlock shape: processes taking
+//     different sides wait on barriers the other side never enters. Only
+//     claimed when both branches' phases all fold, so data-dependent
+//     phases stay silent.
+//
+// Tags cross the transport seam unchanged, so Proc methods and transport
+// Endpoint methods (both matched by name, Send/Recv* with tag second,
+// Barrier with phase first) feed one pairing pool per package.
+package tagflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "tagflow",
+	Doc:  "fold tags to constants and check send/recv pairing, text-vs-value divergence, and branch-divergent barrier phases",
+	Run:  run,
+}
+
+// governed mirrors chanproto: the packages whose traffic follows the
+// simulator protocol, plus the transport backends by name.
+var governed = []string{"machine", "collective", "ftparallel", "transport", "simnet", "wallnet"}
+
+// comm maps method names to the argument index carrying the tag (or phase).
+var comm = map[string]int{
+	"Send":         1,
+	"Recv":         1,
+	"RecvInts":     1,
+	"RecvDeadline": 1,
+	"Barrier":      0,
+}
+
+// commRecv identifies the consuming side for the pairing checks.
+var commRecv = map[string]bool{"Recv": true, "RecvInts": true, "RecvDeadline": true}
+
+func run(pass *framework.Pass) error {
+	inScope := false
+	for _, seg := range governed {
+		if framework.PathHasSegment(pass.Path, seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	checkTagFolding(pass)
+	framework.FuncDecls(pass.Files, func(fd *ast.FuncDecl) {
+		checkBarrierDivergence(pass, fd)
+	})
+	return nil
+}
+
+// commCall classifies a call as simulator communication and returns the
+// method name and its tag/phase argument.
+func commCall(pass *framework.Pass, call *ast.CallExpr) (name string, tagArg ast.Expr, ok bool) {
+	recv := framework.RecvTypeName(pass.Info, call)
+	if recv != "Proc" && recv != "Endpoint" {
+		return "", nil, false
+	}
+	callee := framework.CalleeIdent(call)
+	if callee == nil {
+		return "", nil, false
+	}
+	idx, isComm := comm[callee.Name]
+	if !isComm || idx >= len(call.Args) {
+		return "", nil, false
+	}
+	return callee.Name, call.Args[idx], true
+}
+
+// fold resolves a tag expression to a canonical constant key when the type
+// checker knows its value.
+func fold(pass *framework.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	return tv.Value.ExactString(), true
+}
+
+// checkTagFolding runs the two value-level pairing checks over the package.
+func checkTagFolding(pass *framework.Pass) {
+	type site struct {
+		pos    token.Pos
+		method string
+		text   string
+		val    string
+		folded bool
+	}
+	var sends, recvs []site
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, tag, ok := commCall(pass, call)
+			if !ok || name == "Barrier" {
+				return true
+			}
+			s := site{pos: call.Pos(), method: name, text: types.ExprString(tag)}
+			s.val, s.folded = fold(pass, tag)
+			if name == "Send" {
+				sends = append(sends, s)
+			} else if commRecv[name] {
+				recvs = append(recvs, s)
+			}
+			return true
+		})
+	}
+
+	sendVals := map[string]bool{}
+	allSendsFolded := true
+	for _, s := range sends {
+		if s.folded {
+			sendVals[s.val] = true
+		} else {
+			allSendsFolded = false
+		}
+	}
+
+	for _, r := range recvs {
+		if !r.folded || sendVals[r.val] {
+			continue // symbolic, or value-paired with some send
+		}
+		// Fold divergence: a textual twin on the send side with a different
+		// constant value is the sharper diagnosis.
+		diverged := false
+		for _, s := range sends {
+			if s.folded && s.text == r.text && s.val != r.val {
+				pass.Reportf(r.pos, "Proc.%s tag %s folds to %s here but the identically-written send tag folds to %s: text pairing matches, the values never will", r.method, r.text, r.val, s.val)
+				diverged = true
+				break
+			}
+		}
+		if diverged {
+			continue
+		}
+		if len(sends) > 0 && allSendsFolded {
+			pass.Reportf(r.pos, "Proc.%s waits for tag %s but no Send in package %s can produce it: the receive blocks until teardown", r.method, r.val, pass.Path)
+		}
+	}
+}
+
+// phaseSet collects the folded Barrier phases shallowly reachable in a
+// branch. allFolded is false if any reachable phase is symbolic.
+func phaseSet(pass *framework.Pass, branch ast.Node) (map[string]bool, bool) {
+	phases := map[string]bool{}
+	allFolded := true
+	framework.InspectShallow(branch, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, phase, ok := commCall(pass, call)
+		if !ok || name != "Barrier" {
+			return true
+		}
+		if v, folded := fold(pass, phase); folded {
+			phases[v] = true
+		} else {
+			allFolded = false
+		}
+		return true
+	})
+	return phases, allFolded
+}
+
+// checkBarrierDivergence flags if/else statements whose branches barrier on
+// different folded phase sets.
+func checkBarrierDivergence(pass *framework.Pass, fd *ast.FuncDecl) {
+	framework.InspectShallow(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Else == nil {
+			return true
+		}
+		thenPhases, thenFolded := phaseSet(pass, ifs.Body)
+		elsePhases, elseFolded := phaseSet(pass, ifs.Else)
+		if !thenFolded || !elseFolded || len(thenPhases) == 0 || len(elsePhases) == 0 {
+			return true
+		}
+		if !sameSet(thenPhases, elsePhases) {
+			pass.Reportf(ifs.Pos(), "if/else branches synchronize on different barrier phases (%s vs %s): processes taking different sides deadlock", setString(thenPhases), setString(elsePhases))
+		}
+		return true
+	})
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func setString(s map[string]bool) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	// Deterministic order for diagnostics and golden files.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k
+	}
+	return out + "}"
+}

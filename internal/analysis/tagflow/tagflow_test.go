@@ -1,0 +1,44 @@
+package tagflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/tagflow"
+)
+
+func TestTagFlow(t *testing.T) {
+	analysistest.Run(t, tagflow.Analyzer, "machine")
+}
+
+// One symbolic send tag must silence the orphan-receive check package-wide.
+func TestTagFlowSymbolicSendsSilent(t *testing.T) {
+	analysistest.Run(t, tagflow.Analyzer, "collective")
+}
+
+// The real tree's tags are parameter-derived and its barriers straight-line
+// (or error-guarded without an else), so tagflow must stay silent on it.
+func TestTagFlowRealTree(t *testing.T) {
+	pkgs, err := framework.Load("../../..", "./internal/machine/...", "./internal/collective", "./internal/ftparallel")
+	if err != nil {
+		t.Fatalf("loading governed packages: %v", err)
+	}
+	active, suppressed, err := framework.RunAllDetail([]*framework.Analyzer{tagflow.Analyzer}, pkgs)
+	if err != nil {
+		t.Fatalf("running tagflow: %v", err)
+	}
+	// Filter to tagflow findings: running a single analyzer makes the
+	// framework's allow-comment validator flag suppressions that belong to
+	// the analyzers not in this run.
+	for _, d := range active {
+		if d.Analyzer == "tagflow" {
+			t.Errorf("%s: %s", d.Position, d.Message)
+		}
+	}
+	for _, d := range suppressed {
+		if d.Analyzer == "tagflow" {
+			t.Errorf("suppressed finding on the real tree: %s: %s", d.Position, d.Message)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package bigint
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync/atomic"
 )
@@ -74,15 +75,30 @@ var (
 
 func init() {
 	applyLadder(DefaultLadder())
-	if path := os.Getenv("FTMUL_CALIBRATION"); path != "" {
+	loadStartupCalibration(os.Getenv, "calibration.json", os.Stderr)
+}
+
+// loadStartupCalibration implements the process-startup calibration
+// precedence: an explicit $FTMUL_CALIBRATION path wins outright over the
+// implicit profile in the working directory — even when loading it fails,
+// the implicit file is not consulted, so a typo'd override can never
+// silently fall back to a different machine's numbers. Load errors are
+// reported on warnw and leave the compiled-in defaults in effect. It
+// returns the path it attempted, "" when no calibration source existed.
+func loadStartupCalibration(getenv func(string) string, implicit string, warnw io.Writer) string {
+	if path := getenv("FTMUL_CALIBRATION"); path != "" {
 		if err := LoadCalibration(path); err != nil {
-			fmt.Fprintf(os.Stderr, "bigint: ignoring $FTMUL_CALIBRATION: %v\n", err)
+			fmt.Fprintf(warnw, "bigint: ignoring $FTMUL_CALIBRATION: %v\n", err)
 		}
-	} else if _, err := os.Stat("calibration.json"); err == nil {
-		if err := LoadCalibration("calibration.json"); err != nil {
-			fmt.Fprintf(os.Stderr, "bigint: ignoring ./calibration.json: %v\n", err)
-		}
+		return path
 	}
+	if _, err := os.Stat(implicit); err == nil {
+		if err := LoadCalibration(implicit); err != nil {
+			fmt.Fprintf(warnw, "bigint: ignoring %s: %v\n", implicit, err)
+		}
+		return implicit
+	}
+	return ""
 }
 
 func applyLadder(l Ladder) {
