@@ -14,7 +14,13 @@
 // [0, 2p), Shoup/REDC preconditions, no uint64 wraparound, strict
 // reduction before CRT recombination) and value-level tag-protocol safety
 // (tagflow: constant-folded send/recv pairing and branch-divergent barrier
-// phases). The run also audits the
+// phases). Since PR 8, protomc extracts the communication skeleton of every
+// per-processor collective and of the fault-tolerant engine and
+// model-checks them explicitly for small worlds (n in [2,5], every legal
+// root, every tolerated single fail-stop fault plan), proving
+// deadlock-freedom, send/recv matching, barrier phase consistency, and
+// fault-recovery completion — each violation reported with a concrete
+// counterexample interleaving. The run also audits the
 // //ftlint:allow comments themselves: an allow that names an unknown
 // analyzer or no longer suppresses anything is a finding (allowaudit). See
 // DESIGN.md "Machine-checked invariants".
@@ -47,6 +53,7 @@ import (
 	"repro/internal/analysis/modbound"
 	"repro/internal/analysis/natalias"
 	"repro/internal/analysis/poolspawn"
+	"repro/internal/analysis/protomc"
 	"repro/internal/analysis/recoverpath"
 	"repro/internal/analysis/statsrace"
 	"repro/internal/analysis/tagflow"
@@ -63,6 +70,7 @@ var analyzers = []*framework.Analyzer{
 	recoverpath.Analyzer,
 	modbound.Analyzer,
 	tagflow.Analyzer,
+	protomc.Analyzer,
 }
 
 // jsonFinding is one entry of the -json report. The schema is covered by
@@ -75,6 +83,11 @@ type jsonFinding struct {
 	Analyzer     string `json:"analyzer"`
 	Message      string `json:"message"`
 	SuppressedBy string `json:"suppressed_by,omitempty"`
+	// World and Trace carry a model-checker counterexample: the concrete
+	// world the violation was proved in and its interleaving, one scheduler
+	// event per entry. Only protomc findings populate them.
+	World string   `json:"world,omitempty"`
+	Trace []string `json:"trace,omitempty"`
 }
 
 // jsonReport is the top-level -json payload.
@@ -93,6 +106,8 @@ func toJSON(ds []framework.Diagnostic) []jsonFinding {
 			Analyzer:     d.Analyzer,
 			Message:      d.Message,
 			SuppressedBy: d.SuppressedBy,
+			World:        d.World,
+			Trace:        d.Trace,
 		})
 	}
 	return out

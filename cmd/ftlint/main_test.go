@@ -108,12 +108,14 @@ func TestJSONGolden(t *testing.T) {
 	// every required field populated.
 	var report struct {
 		Findings []struct {
-			File         string `json:"file"`
-			Line         int    `json:"line"`
-			Col          int    `json:"col"`
-			Analyzer     string `json:"analyzer"`
-			Message      string `json:"message"`
-			SuppressedBy string `json:"suppressed_by"`
+			File         string   `json:"file"`
+			Line         int      `json:"line"`
+			Col          int      `json:"col"`
+			Analyzer     string   `json:"analyzer"`
+			Message      string   `json:"message"`
+			SuppressedBy string   `json:"suppressed_by"`
+			World        string   `json:"world"`
+			Trace        []string `json:"trace"`
 		} `json:"findings"`
 		Suppressed []struct {
 			File         string `json:"file"`
@@ -139,9 +141,24 @@ func TestJSONGolden(t *testing.T) {
 			t.Errorf("active finding carries suppressed_by: %+v", f)
 		}
 	}
-	for _, want := range []string{"accown", "natalias", "modbound", "tagflow"} {
+	for _, want := range []string{"accown", "natalias", "modbound", "tagflow", "protomc"} {
 		if !seen[want] {
 			t.Errorf("no %s finding in report; the lintme fixtures seed one", want)
+		}
+	}
+	// Model-checker findings must carry their counterexample: the world the
+	// violation was proved in and a non-empty interleaving; local analyses
+	// must not.
+	for _, f := range report.Findings {
+		if f.Analyzer == "protomc" {
+			if f.World == "" {
+				t.Errorf("protomc finding lacks a world: %+v", f)
+			}
+			if len(f.Trace) == 0 {
+				t.Errorf("protomc finding lacks a counterexample trace: %+v", f)
+			}
+		} else if f.World != "" || len(f.Trace) != 0 {
+			t.Errorf("%s finding carries model-checker fields: %+v", f.Analyzer, f)
 		}
 	}
 	if len(report.Suppressed) == 0 {

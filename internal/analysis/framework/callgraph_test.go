@@ -1,0 +1,97 @@
+package framework
+
+import "testing"
+
+const callgraphSrc = `package p
+
+type W struct{ n int }
+
+func (w *W) Ping() { w.n++ }
+func (w W) Pong()  {}
+func helper()      {}
+func deeper()      {}
+
+func direct(w *W) {
+	w.Ping()
+	w.Pong()
+}
+
+func immediateValue(w *W) {
+	(w.Ping)()
+}
+
+func boundValue(w *W) {
+	f := w.Ping
+	f()
+}
+
+func deferredLit(w *W) {
+	defer func() {
+		helper()
+		w.Ping()
+	}()
+}
+
+func nestedLit() {
+	go func() {
+		func() {
+			deeper()
+		}()
+	}()
+}
+`
+
+func callgraphFor(t *testing.T) *CallGraph {
+	t.Helper()
+	pkg := typeCheckPkg(t, "p", callgraphSrc)
+	return NewCallGraph([]*Package{pkg})
+}
+
+func wantEdge(t *testing.T, g *CallGraph, from, to string) {
+	t.Helper()
+	n := g.Nodes[from]
+	if n == nil {
+		t.Fatalf("no node for %s", from)
+	}
+	if !n.Calls[to] {
+		t.Errorf("%s has no edge to %s; edges: %v", from, to, n.Calls)
+	}
+}
+
+// TestCallGraphMethodValueEdges pins edge resolution through concrete
+// receivers: plain method calls and an immediately invoked (parenthesized)
+// method value both resolve to pkg.Recv.Name keys, while a method value
+// bound to a variable first is a func-typed call and produces no edge —
+// analyzers must treat that callee conservatively.
+func TestCallGraphMethodValueEdges(t *testing.T) {
+	g := callgraphFor(t)
+	wantEdge(t, g, "p.direct", "p.W.Ping")
+	wantEdge(t, g, "p.direct", "p.W.Pong")
+	wantEdge(t, g, "p.immediateValue", "p.W.Ping")
+	if n := g.Nodes["p.boundValue"]; n == nil {
+		t.Fatal("no node for p.boundValue")
+	} else if n.Calls["p.W.Ping"] {
+		t.Error("p.boundValue gained an edge through a func-typed variable; the graph documents that as unresolved")
+	}
+}
+
+// TestCallGraphDeferredFuncLitEdges pins closure attribution: calls inside
+// a deferred function literal — and inside literals nested under a go
+// statement — belong to the enclosing declared function, which is what the
+// reachability facts (charging, spawning, recovery) need.
+func TestCallGraphDeferredFuncLitEdges(t *testing.T) {
+	g := callgraphFor(t)
+	wantEdge(t, g, "p.deferredLit", "p.helper")
+	wantEdge(t, g, "p.deferredLit", "p.W.Ping")
+	wantEdge(t, g, "p.nestedLit", "p.deeper")
+	// The literals themselves are not declared functions: no spurious nodes.
+	for key := range g.Nodes {
+		switch key {
+		case "p.W.Ping", "p.W.Pong", "p.helper", "p.deeper",
+			"p.direct", "p.immediateValue", "p.boundValue",
+			"p.deferredLit", "p.nestedLit":
+		default:
+			t.Errorf("unexpected call-graph node %q", key)
+		}
+	}
+}

@@ -73,6 +73,12 @@ type Diagnostic struct {
 	// suppressed this finding ("" for active findings). Only populated on
 	// the suppressed list of RunAllDetail.
 	SuppressedBy string
+	// World names the model-checker world a protocol finding was proved in
+	// (processor count, root, fault plan); empty for local analyses.
+	World string
+	// Trace is the counterexample interleaving exhibiting the violation,
+	// one scheduler event per entry; nil for local analyses.
+	Trace []string
 }
 
 // Reportf records a finding at pos.
@@ -85,6 +91,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportTrace records a model-checker finding with its world and
+// counterexample interleaving.
+func (p *Pass) ReportTrace(pos token.Pos, world string, trace []string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		World:    world,
+		Trace:    trace,
+	})
+}
+
 // Run applies one analyzer to one package and returns its findings with
 // //ftlint:allow suppressions already applied, sorted by position. Single-
 // analyzer runs do not audit the allow comments (an allow aimed at another
@@ -92,6 +111,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	out, _, err := runFiltered(a, pkg, buildAllowIndex(pkg), ComputeSummaries([]*Package{pkg}))
 	return out, err
+}
+
+// RunShared applies one analyzer to one package against caller-provided
+// whole-program summaries, so interprocedural analyzers (protomc) can see
+// across package boundaries without running the full registry. Suppressions
+// apply; the allow comments are not audited (see Run).
+func RunShared(a *Analyzer, pkg *Package, sums *Summaries) (active, suppressed []Diagnostic, err error) {
+	return runFiltered(a, pkg, buildAllowIndex(pkg), sums)
 }
 
 func runFiltered(a *Analyzer, pkg *Package, allowed *allowIndex, sums *Summaries) ([]Diagnostic, []Diagnostic, error) {
@@ -130,8 +157,36 @@ func sortDiags(ds []Diagnostic) {
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		// Position ties (several analyzers, or one analyzer firing twice on
+		// a line) break deterministically so -json output is stable.
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
 	})
+}
+
+// dedupeDiags drops exact duplicates (same file:line:col, analyzer, and
+// message) from a sorted slice. Multi-package runs can analyze one file
+// under several passes; the report should carry each finding once.
+func dedupeDiags(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.Position.Filename == d.Position.Filename &&
+				p.Position.Line == d.Position.Line &&
+				p.Position.Column == d.Position.Column &&
+				p.Analyzer == d.Analyzer && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // RunAll applies every analyzer to every package, sharing one suppression
@@ -164,7 +219,9 @@ func RunAllDetail(analyzers []*Analyzer, pkgs []*Package) (active, suppressed []
 		}
 		active = append(active, idx.audit(known)...)
 	}
-	return active, suppressed, nil
+	sortDiags(active)
+	sortDiags(suppressed)
+	return dedupeDiags(active), dedupeDiags(suppressed), nil
 }
 
 // allowEntry is one analyzer name in one //ftlint:allow comment. Entries

@@ -1,0 +1,323 @@
+package protomc
+
+// call.go dispatches call expressions: type conversions, builtins, the
+// model transport verbs (served by checker.go), interpreted declared
+// functions/methods/closures, and natively bridged arithmetic calls.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func (in *interp) evalCall(fr *frame, call *ast.CallExpr) []Value {
+	info := fr.pkg.Info
+
+	// Type conversion: machine.Ints(v), []bigint.Int(got), int64(c), ...
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		v := in.evalExpr(fr, call.Args[0])
+		return []Value{in.convert(v, tv.Type, call.Pos())}
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return in.evalBuiltin(fr, call, id.Name)
+		}
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Package-qualified call: fmt.Sprintf, collective.Broadcast, ...
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return in.callNamed(fr, call, nil)
+			}
+		}
+		recv := in.evalExpr(fr, sel.X)
+		// Transport verbs and the rest of the Proc surface.
+		if pv, ok := recv.(ProcVal); ok {
+			return in.procMethod(pv.mp, sel.Sel.Name, in.evalArgs(fr, call), call)
+		}
+		return in.callNamed(fr, call, recv)
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isFn := info.Uses[id].(*types.Func); isFn {
+			return in.callNamed(fr, call, nil)
+		}
+	}
+
+	// Func-valued expression: closure variable, hook field, func literal.
+	return in.callValue(fr, in.evalExpr(fr, call.Fun), call)
+}
+
+func (in *interp) evalArgs(fr *frame, call *ast.CallExpr) []Value {
+	args := make([]Value, 0, len(call.Args))
+	for _, a := range call.Args {
+		args = append(args, in.evalExpr(fr, a))
+	}
+	if call.Ellipsis.IsValid() && len(args) > 0 {
+		last, ok := args[len(args)-1].(*SliceVal)
+		if !ok {
+			if _, isNil := args[len(args)-1].(NilVal); isNil {
+				return args[:len(args)-1]
+			}
+			fail(call.Ellipsis, "... spread of %T", args[len(args)-1])
+		}
+		args = append(args[:len(args)-1], last.Elems...)
+	}
+	return args
+}
+
+// callNamed dispatches a statically resolved function or method: protocol
+// packages are interpreted, arithmetic packages and the stdlib are bridged.
+func (in *interp) callNamed(fr *frame, call *ast.CallExpr, recv Value) []Value {
+	key := in.callKey(fr.pkg.Info, call)
+	if key == "" {
+		fail(call.Pos(), "cannot resolve callee")
+	}
+	if node := in.interpretedCallee(fr, call); node != nil {
+		return in.callDecl(node, recv, in.evalArgs(fr, call), call.Pos())
+	}
+	return in.nativeCall(fr, key, recv, call)
+}
+
+func (in *interp) callValue(fr *frame, fn Value, call *ast.CallExpr) []Value {
+	switch f := fn.(type) {
+	case *ClosureVal:
+		return in.callClosure(f, in.evalArgs(fr, call), call.Pos())
+	case FuncRef:
+		if node := in.sums.Graph.Nodes[f.Key]; node != nil && !nativeBridgedPkg(node.Pkg.Path) {
+			return in.callDecl(node, nil, in.evalArgs(fr, call), call.Pos())
+		}
+		return in.nativeCall(fr, f.Key, nil, call)
+	case NilVal:
+		fail(call.Pos(), "call through nil func value (unguarded hook?)")
+	}
+	fail(call.Pos(), "call through %T is not modeled", fn)
+	return nil
+}
+
+// procMethod serves the machine.Proc surface (and the miniature fixture
+// stand-ins matched by name) against the model checker.
+func (in *interp) procMethod(mp *modelProc, name string, args []Value, call *ast.CallExpr) []Value {
+	pos := call.Pos()
+	if mp == nil {
+		fail(pos, "transport verb %s outside a model processor", name)
+	}
+	switch name {
+	case "Send":
+		to := in.intOf(args[0], pos, "send destination rank")
+		tag := in.strOf(args[1], pos, "send tag")
+		var payload Value = NilVal{}
+		if len(args) > 2 {
+			payload = copyPayload(args[2])
+		}
+		return []Value{mp.opSend(int(to), tag, payload, pos)}
+	case "Recv", "RecvInts":
+		from := in.intOf(args[0], pos, "recv source rank")
+		tag := in.strOf(args[1], pos, "recv tag")
+		return []Value{mp.opRecv(int(from), tag, pos), NilVal{}}
+	case "RecvDeadline":
+		from := in.intOf(args[0], pos, "recv source rank")
+		tag := in.strOf(args[1], pos, "recv tag")
+		payload, onTime := mp.opRecvDeadline(int(from), tag, pos)
+		return []Value{payload, knownBool(onTime), NilVal{}}
+	case "Barrier":
+		phase := in.strOf(args[0], pos, "barrier phase")
+		return []Value{mp.opBarrier(phase, pos), NilVal{}}
+	case "ID":
+		return []Value{knownInt(int64(mp.id))}
+	case "P":
+		return []Value{knownInt(int64(len(mp.ck.procs)))}
+	case "Clock":
+		return []Value{FloatVal{Known: true, V: 0}}
+	case "FaultCount":
+		return []Value{knownInt(int64(mp.faultCount))}
+	case "Work", "Mark", "Elapse":
+		return nil
+	case "Store":
+		key := in.strOf(args[0], pos, "store key")
+		mp.store[key] = copyPayload(args[1])
+		return []Value{NilVal{}}
+	case "Load":
+		key := in.strOf(args[0], pos, "load key")
+		v, ok := mp.store[key]
+		if !ok {
+			v = NilVal{}
+		}
+		return []Value{v, knownBool(ok)}
+	case "LoadInts":
+		key := in.strOf(args[0], pos, "load key")
+		v, ok := mp.store[key]
+		if !ok {
+			return []Value{NilVal{}, ErrVal{Msg: "no such key: " + key}}
+		}
+		return []Value{v, NilVal{}}
+	case "Free":
+		delete(mp.store, in.strOf(args[0], pos, "free key"))
+		return nil
+	case "Keys":
+		keys := sortedKeys(mp.store)
+		out := make([]Value, len(keys))
+		for i, k := range keys {
+			out[i] = knownStr(k)
+		}
+		return []Value{&SliceVal{Elems: out}}
+	case "MemoryWords":
+		return []Value{IntVal{}}
+	}
+	fail(pos, "Proc method %s is not modeled", name)
+	return nil
+}
+
+func (in *interp) evalBuiltin(fr *frame, call *ast.CallExpr, name string) []Value {
+	pos := call.Pos()
+	switch name {
+	case "len", "cap":
+		v := in.evalExpr(fr, call.Args[0])
+		switch c := v.(type) {
+		case *SliceVal:
+			return []Value{knownInt(int64(len(c.Elems)))}
+		case *MapVal:
+			return []Value{knownInt(int64(c.len()))}
+		case StrVal:
+			if !c.Known {
+				return []Value{IntVal{}}
+			}
+			return []Value{knownInt(int64(len(c.V)))}
+		case NilVal:
+			return []Value{knownInt(0)}
+		}
+		fail(pos, "%s of %T is not modeled", name, v)
+
+	case "append":
+		args := in.evalArgs(fr, call)
+		var base []Value
+		switch b := args[0].(type) {
+		case *SliceVal:
+			base = b.Elems
+		case NilVal:
+		default:
+			fail(pos, "append to %T", args[0])
+		}
+		out := make([]Value, 0, len(base)+len(args)-1)
+		out = append(out, base...)
+		out = append(out, args[1:]...)
+		return []Value{&SliceVal{Elems: out}}
+
+	case "make":
+		t := fr.pkg.Info.Types[call.Args[0]].Type
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			n := int64(0)
+			if len(call.Args) > 1 {
+				n = in.intOf(in.evalExpr(fr, call.Args[1]), pos, "make length")
+			}
+			if n < 0 || n > 1<<20 {
+				fail(pos, "make length %d out of model range", n)
+			}
+			elems := make([]Value, n)
+			for i := range elems {
+				elems[i] = in.zeroValue(u.Elem(), pos)
+			}
+			return []Value{&SliceVal{Elems: elems}}
+		case *types.Map:
+			return []Value{newMap()}
+		}
+		fail(pos, "make of %v is not modeled", t)
+
+	case "copy":
+		dst, okD := in.evalExpr(fr, call.Args[0]).(*SliceVal)
+		src, okS := in.evalExpr(fr, call.Args[1]).(*SliceVal)
+		if !okD || !okS {
+			return []Value{knownInt(0)}
+		}
+		n := copy(dst.Elems, src.Elems)
+		return []Value{knownInt(int64(n))}
+
+	case "delete":
+		m, ok := in.evalExpr(fr, call.Args[0]).(*MapVal)
+		if !ok {
+			return nil
+		}
+		k := keyString(in.evalExpr(fr, call.Args[1]))
+		if _, present := m.vals[k]; present {
+			delete(m.vals, k)
+			for i, s := range m.keys {
+				if s == k {
+					m.keys = append(m.keys[:i], m.keys[i+1:]...)
+					break
+				}
+			}
+		}
+		return nil
+
+	case "min", "max":
+		args := in.evalArgs(fr, call)
+		best, ok := args[0].(IntVal)
+		if !ok || !best.Known {
+			return []Value{IntVal{}}
+		}
+		for _, a := range args[1:] {
+			iv, ok := a.(IntVal)
+			if !ok || !iv.Known {
+				return []Value{IntVal{}}
+			}
+			if (name == "min" && iv.V < best.V) || (name == "max" && iv.V > best.V) {
+				best = iv
+			}
+		}
+		return []Value{best}
+
+	case "panic":
+		args := in.evalArgs(fr, call)
+		msg := "panic"
+		if len(args) > 0 {
+			if s, ok := formatValue(args[0]); ok {
+				msg = "panic: " + s
+			}
+		}
+		fail(pos, "%s", msg)
+	}
+	fail(pos, "builtin %s is not modeled", name)
+	return nil
+}
+
+func (in *interp) convert(v Value, t types.Type, pos token.Pos) Value {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		switch {
+		case info&types.IsInteger != 0:
+			switch x := v.(type) {
+			case IntVal:
+				return x
+			case FloatVal:
+				if !x.Known {
+					return IntVal{}
+				}
+				return knownInt(int64(x.V))
+			}
+		case info&types.IsFloat != 0:
+			switch x := v.(type) {
+			case FloatVal:
+				return x
+			case IntVal:
+				if !x.Known {
+					return FloatVal{}
+				}
+				return FloatVal{Known: true, V: float64(x.V)}
+			}
+		case info&types.IsString != 0:
+			if x, ok := v.(StrVal); ok {
+				return x
+			}
+		}
+	case *types.Slice, *types.Map, *types.Struct, *types.Interface, *types.Pointer, *types.Signature:
+		// Named-type re-tag only: machine.Ints(v), []bigint.Int(got), Group(ids).
+		return v
+	}
+	fail(pos, "conversion of %T to %v is not modeled", v, t)
+	return nil
+}

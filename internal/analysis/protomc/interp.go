@@ -1,0 +1,1429 @@
+package protomc
+
+// interp.go is an abstract interpreter for the per-processor protocol
+// functions: it executes the real AST bodies, keeping everything that shapes
+// communication (ranks, group arithmetic, loop counters, tags, lengths)
+// exact, and payload data (big integers, rationals) opaque. Transport verbs
+// are served by the model checker (checker.go); calls into the arithmetic
+// packages are bridged to the real implementations by reflection
+// (native.go) or degraded to opaque results typed from go/types.
+//
+// Branches whose condition is unknown (a predicate on opaque data) follow
+// two sound policies:
+//
+//   - an arm that terminates in a non-nil error return is assumed not taken
+//     (the local-failure-free assumption: data-level invariants are the
+//     arithmetic analyzers' job, protocol shape is ours);
+//   - when both arms are communication-free the branch is skipped entirely
+//     and every variable either arm assigns is smeared to unknown — a
+//     comm-free arm cannot change the communication shape.
+//
+// Anything else (an unknown condition guarding communication, an unbounded
+// construct the skeleton gate missed) aborts the run with a modelErr, which
+// the checker surfaces as a visible diagnostic rather than silently
+// assuming the tree clean.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/analysis/framework"
+)
+
+// modelErr aborts a model run; the checker reports it as a finding.
+type modelErr struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e modelErr) Error() string { return e.Msg }
+
+// killSignal tears down a parked proc goroutine at end of run.
+type killSignal struct{}
+
+func fail(pos token.Pos, format string, args ...any) {
+	panic(modelErr{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// interp executes interpreted function bodies for one model processor.
+type interp struct {
+	sums  *framework.Summaries
+	skels *framework.SkeletonSet
+	mp    *modelProc    // nil during host-side (world setup) evaluation
+	fuel  *atomic.Int64 // shared step budget for the whole run
+}
+
+func (in *interp) step(pos token.Pos) {
+	if in.fuel.Add(-1) < 0 {
+		fail(pos, "model step budget exhausted (interpretation diverged?)")
+	}
+}
+
+// cell is one variable binding; closures share cells with their creator.
+type cell struct{ v Value }
+
+// frame is one activation record. Cells are keyed by types.Object, so
+// shadowing and block scope come for free from the type-checker.
+type frame struct {
+	pkg    *framework.Package
+	sig    *types.Signature
+	cells  map[types.Object]*cell
+	parent *frame // lexical parent (closures); nil for function frames
+	defers []func()
+}
+
+func newFrame(pkg *framework.Package, sig *types.Signature, parent *frame) *frame {
+	return &frame{pkg: pkg, sig: sig, cells: map[types.Object]*cell{}, parent: parent}
+}
+
+func (f *frame) lookup(obj types.Object) *cell {
+	for fr := f; fr != nil; fr = fr.parent {
+		if c, ok := fr.cells[obj]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (f *frame) bind(obj types.Object, v Value) {
+	f.cells[obj] = &cell{v: v}
+}
+
+// ctl is statement-level control flow.
+type ctlKind int
+
+const (
+	ctlNone ctlKind = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+type ctl struct {
+	kind ctlKind
+	ret  []Value
+}
+
+var ctlNoneV = ctl{}
+
+// callKey resolves the FuncKey of a call's static callee ("" if none).
+func (in *interp) callKey(info *types.Info, call *ast.CallExpr) string {
+	return framework.FuncKey(framework.CalleeFunc(info, call))
+}
+
+// interpretedCallee returns the graph node for a call when the callee's
+// body should be interpreted (protocol packages and fixture packages), as
+// opposed to bridged natively (arithmetic packages, stdlib).
+func (in *interp) interpretedCallee(fr *frame, call *ast.CallExpr) *framework.CGNode {
+	key := in.callKey(fr.pkg.Info, call)
+	if key == "" {
+		return nil
+	}
+	node := in.sums.Graph.Nodes[key]
+	if node == nil {
+		return nil
+	}
+	if nativeBridgedPkg(node.Pkg.Path) {
+		return nil
+	}
+	return node
+}
+
+// callDecl invokes a declared function/method body. recv is nil for plain
+// functions.
+func (in *interp) callDecl(node *framework.CGNode, recv Value, args []Value, pos token.Pos) []Value {
+	in.step(pos)
+	sig, _ := node.Fn.Type().(*types.Signature)
+	if sig == nil {
+		fail(pos, "call of %s: no signature", node.Key)
+	}
+	fr := newFrame(node.Pkg, sig, nil)
+	info := node.Pkg.Info
+
+	bindField := func(f *ast.Field, v Value) {
+		for _, name := range f.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := info.Defs[name]; obj != nil {
+				fr.bind(obj, v)
+			}
+		}
+	}
+	if node.Decl.Recv != nil && len(node.Decl.Recv.List) > 0 {
+		bindField(node.Decl.Recv.List[0], recv)
+	}
+
+	// Bind parameters name by name; a variadic final parameter packs the
+	// remaining arguments into a slice.
+	idx := 0
+	params := node.Decl.Type.Params.List
+	for pi, f := range params {
+		_, variadic := f.Type.(*ast.Ellipsis)
+		last := pi == len(params)-1
+		if len(f.Names) == 0 {
+			// Unnamed parameter still consumes its argument.
+			if variadic && last {
+				idx = len(args)
+			} else {
+				idx++
+			}
+			continue
+		}
+		for _, name := range f.Names {
+			var v Value
+			if variadic && last {
+				rest := append([]Value(nil), args[idx:]...)
+				idx = len(args)
+				v = &SliceVal{Elems: rest}
+			} else {
+				if idx >= len(args) {
+					fail(pos, "call of %s: missing argument %d", node.Key, idx)
+				}
+				v = args[idx]
+				idx++
+			}
+			if name.Name == "_" {
+				continue
+			}
+			if obj := info.Defs[name]; obj != nil {
+				fr.bind(obj, v)
+			}
+		}
+	}
+
+	// Named results start at their zero values; a bare return reads them.
+	var namedResults []types.Object
+	if node.Decl.Type.Results != nil {
+		for _, f := range node.Decl.Type.Results.List {
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					namedResults = append(namedResults, nil)
+					continue
+				}
+				obj := info.Defs[name]
+				if obj != nil {
+					fr.bind(obj, in.zeroValue(obj.Type(), pos))
+				}
+				namedResults = append(namedResults, obj)
+			}
+		}
+	}
+
+	c := in.execStmt(fr, node.Decl.Body)
+	in.runDefers(fr)
+	if c.kind == ctlReturn {
+		if len(c.ret) == 0 && len(namedResults) > 0 {
+			out := make([]Value, len(namedResults))
+			for i, obj := range namedResults {
+				if obj == nil {
+					out[i] = NilVal{}
+					continue
+				}
+				out[i] = fr.lookup(obj).v
+			}
+			return out
+		}
+		return c.ret
+	}
+	return nil
+}
+
+// callClosure invokes a function literal with its captured frame.
+func (in *interp) callClosure(cl *ClosureVal, args []Value, pos token.Pos) []Value {
+	in.step(pos)
+	info := cl.Pkg.Info
+	sig, _ := info.Types[cl.Lit].Type.(*types.Signature)
+	fr := newFrame(cl.Pkg, sig, cl.Fr)
+	idx := 0
+	for _, f := range cl.Lit.Type.Params.List {
+		for _, name := range f.Names {
+			if idx >= len(args) {
+				fail(pos, "closure call: missing argument %d", idx)
+			}
+			if name.Name != "_" {
+				if obj := info.Defs[name]; obj != nil {
+					fr.bind(obj, args[idx])
+				}
+			}
+			idx++
+		}
+	}
+	c := in.execStmt(fr, cl.Lit.Body)
+	in.runDefers(fr)
+	if c.kind == ctlReturn {
+		return c.ret
+	}
+	return nil
+}
+
+func (in *interp) runDefers(fr *frame) {
+	for i := len(fr.defers) - 1; i >= 0; i-- {
+		fr.defers[i]()
+	}
+	fr.defers = nil
+}
+
+// ---- statements ----
+
+func (in *interp) execStmt(fr *frame, s ast.Stmt) ctl {
+	if s == nil {
+		return ctlNoneV
+	}
+	in.step(s.Pos())
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range st.List {
+			if c := in.execStmt(fr, sub); c.kind != ctlNone {
+				return c
+			}
+		}
+		return ctlNoneV
+
+	case *ast.ExprStmt:
+		in.evalMulti(fr, st.X)
+		return ctlNoneV
+
+	case *ast.AssignStmt:
+		in.execAssign(fr, st)
+		return ctlNoneV
+
+	case *ast.IncDecStmt:
+		one := knownInt(1)
+		op := token.ADD
+		if st.Tok == token.DEC {
+			op = token.SUB
+		}
+		cur := in.evalExpr(fr, st.X)
+		in.assignTo(fr, st.X, in.binop(cur, op, one, st.Pos()))
+		return ctlNoneV
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in.execStmt(fr, st.Init)
+		}
+		return in.execIf(fr, st)
+
+	case *ast.ForStmt:
+		return in.execFor(fr, st)
+
+	case *ast.RangeStmt:
+		return in.execRange(fr, st)
+
+	case *ast.ReturnStmt:
+		if len(st.Results) == 0 {
+			return ctl{kind: ctlReturn}
+		}
+		if len(st.Results) == 1 {
+			return ctl{kind: ctlReturn, ret: in.evalMulti(fr, st.Results[0])}
+		}
+		out := make([]Value, len(st.Results))
+		for i, e := range st.Results {
+			out[i] = in.evalExpr(fr, e)
+		}
+		return ctl{kind: ctlReturn, ret: out}
+
+	case *ast.BranchStmt:
+		if st.Label != nil {
+			fail(st.Pos(), "labeled %s is not modeled", st.Tok)
+		}
+		switch st.Tok {
+		case token.BREAK:
+			return ctl{kind: ctlBreak}
+		case token.CONTINUE:
+			return ctl{kind: ctlContinue}
+		}
+		fail(st.Pos(), "%s is not modeled", st.Tok)
+
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return ctlNoneV
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := fr.pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				var v Value
+				if i < len(vs.Values) {
+					v = in.evalExpr(fr, vs.Values[i])
+				} else {
+					v = in.zeroValue(obj.Type(), name.Pos())
+				}
+				fr.bind(obj, v)
+			}
+		}
+		return ctlNoneV
+
+	case *ast.SwitchStmt:
+		return in.execSwitch(fr, st)
+
+	case *ast.DeferStmt:
+		in.execDefer(fr, st)
+		return ctlNoneV
+
+	case *ast.EmptyStmt:
+		return ctlNoneV
+	}
+	fail(s.Pos(), "statement %T is not modeled", s)
+	return ctlNoneV
+}
+
+func (in *interp) execAssign(fr *frame, st *ast.AssignStmt) {
+	info := fr.pkg.Info
+
+	// Compound assignment (x += e, mask <<= 1, ...).
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		op, ok := assignOps[st.Tok]
+		if !ok {
+			fail(st.Pos(), "assignment %s is not modeled", st.Tok)
+		}
+		cur := in.evalExpr(fr, st.Lhs[0])
+		rhs := in.evalExpr(fr, st.Rhs[0])
+		in.assignTo(fr, st.Lhs[0], in.binop(cur, op, rhs, st.Pos()))
+		return
+	}
+
+	var vals []Value
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Tuple spread: multi-return call, comma-ok map read.
+		if ix, ok := ast.Unparen(st.Rhs[0]).(*ast.IndexExpr); ok && len(st.Lhs) == 2 {
+			if m, isMap := in.evalExpr(fr, ix.X).(*MapVal); isMap {
+				k := in.evalExpr(fr, ix.Index)
+				v, found := m.get(k)
+				if !found {
+					// A comma-ok read records the tuple (elem, bool); the
+					// zero is of the element type.
+					t := info.Types[st.Rhs[0]].Type
+					if tup, isTup := t.(*types.Tuple); isTup {
+						t = tup.At(0).Type()
+					}
+					v = in.zeroValue(t, st.Pos())
+				}
+				vals = []Value{v, knownBool(found)}
+			}
+		}
+		if vals == nil {
+			vals = in.evalMulti(fr, st.Rhs[0])
+		}
+		if len(vals) != len(st.Lhs) {
+			fail(st.Pos(), "assignment arity mismatch: %d values for %d targets", len(vals), len(st.Lhs))
+		}
+	} else {
+		vals = make([]Value, len(st.Rhs))
+		for i, e := range st.Rhs {
+			vals[i] = in.evalExpr(fr, e)
+		}
+	}
+
+	if st.Tok == token.DEFINE {
+		for i, l := range st.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				fail(l.Pos(), ":= target must be an identifier")
+			}
+			if id.Name == "_" {
+				continue
+			}
+			// := may redeclare: Defs for new variables, Uses for existing.
+			if obj := info.Defs[id]; obj != nil {
+				fr.bind(obj, vals[i])
+			} else if obj := info.Uses[id]; obj != nil {
+				in.assignObj(fr, id, obj, vals[i])
+			}
+		}
+		return
+	}
+	for i, l := range st.Lhs {
+		in.assignTo(fr, l, vals[i])
+	}
+}
+
+var assignOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD, token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL, token.QUO_ASSIGN: token.QUO,
+	token.REM_ASSIGN: token.REM, token.SHL_ASSIGN: token.SHL,
+	token.SHR_ASSIGN: token.SHR, token.AND_ASSIGN: token.AND,
+	token.OR_ASSIGN: token.OR, token.XOR_ASSIGN: token.XOR,
+}
+
+func (in *interp) assignObj(fr *frame, id *ast.Ident, obj types.Object, v Value) {
+	c := fr.lookup(obj)
+	if c == nil {
+		fail(id.Pos(), "assignment to unbound variable %s (package-level state is not modeled)", id.Name)
+	}
+	c.v = v
+}
+
+// assignTo writes v through an assignable expression.
+func (in *interp) assignTo(fr *frame, lhs ast.Expr, v Value) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := fr.pkg.Info.Uses[l]
+		if obj == nil {
+			obj = fr.pkg.Info.Defs[l]
+		}
+		if obj == nil {
+			fail(l.Pos(), "cannot resolve assignment target %s", l.Name)
+		}
+		in.assignObj(fr, l, obj, v)
+
+	case *ast.IndexExpr:
+		cont := in.evalExpr(fr, l.X)
+		switch c := cont.(type) {
+		case *SliceVal:
+			i := in.intOf(in.evalExpr(fr, l.Index), l.Index.Pos(), "index")
+			if i < 0 || int(i) >= len(c.Elems) {
+				fail(l.Pos(), "index %d out of range (len %d)", i, len(c.Elems))
+			}
+			c.Elems[i] = v
+		case *MapVal:
+			c.set(in.evalExpr(fr, l.Index), v)
+		case NilVal:
+			fail(l.Pos(), "assignment into nil map/slice")
+		default:
+			fail(l.Pos(), "index assignment into %T is not modeled", cont)
+		}
+
+	case *ast.SelectorExpr:
+		x := in.evalExpr(fr, l.X)
+		sv, ok := x.(*StructVal)
+		if !ok {
+			fail(l.Pos(), "field assignment into %T is not modeled", x)
+		}
+		sv.Fields[l.Sel.Name] = v
+
+	case *ast.StarExpr:
+		x := in.evalExpr(fr, l.X)
+		if _, ok := x.(*StructVal); ok {
+			fail(l.Pos(), "whole-struct pointer assignment is not modeled")
+		}
+		fail(l.Pos(), "pointer assignment into %T is not modeled", x)
+
+	default:
+		fail(lhs.Pos(), "assignment target %T is not modeled", lhs)
+	}
+}
+
+// execIf resolves the branch condition, falling back to the two unknown-
+// condition policies documented at the top of the file.
+func (in *interp) execIf(fr *frame, st *ast.IfStmt) ctl {
+	cond := in.evalExpr(fr, st.Cond)
+	b, ok := cond.(BoolVal)
+	if !ok {
+		fail(st.Cond.Pos(), "branch condition is %T, not bool", cond)
+	}
+	if b.Known {
+		if b.V {
+			return in.execStmt(fr, st.Body)
+		}
+		return in.execStmt(fr, st.Else)
+	}
+
+	// Policy 1: error arms are assumed not taken.
+	if in.errorArm(fr, st.Body) {
+		return in.execStmt(fr, st.Else)
+	}
+	if st.Else != nil && in.errorArm(fr, st.Else) {
+		return in.execStmt(fr, st.Body)
+	}
+	// Policy 2: comm-free branches are skipped with assigned vars smeared.
+	if in.commFree(fr, st.Body) && (st.Else == nil || in.commFree(fr, st.Else)) {
+		in.smearAssigned(fr, st.Body)
+		if st.Else != nil {
+			in.smearAssigned(fr, st.Else)
+		}
+		return ctlNoneV
+	}
+	fail(st.Cond.Pos(), "branch on opaque data guards communication (cannot soundly skip)")
+	return ctlNoneV
+}
+
+// errorArm reports whether stmt is a block whose final statement returns a
+// non-nil value in the enclosing function's trailing error result.
+func (in *interp) errorArm(fr *frame, stmt ast.Stmt) bool {
+	blk, ok := stmt.(*ast.BlockStmt)
+	if !ok || len(blk.List) == 0 {
+		return false
+	}
+	ret, ok := blk.List[len(blk.List)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	if fr.sig == nil || fr.sig.Results().Len() == 0 {
+		return false
+	}
+	last := fr.sig.Results().At(fr.sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return false
+	}
+	lastExpr := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, ok := lastExpr.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	// The arm must not communicate on its way out.
+	return in.commFree(fr, blk)
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// commFree reports that no communication can happen under stmt, directly or
+// through any statically resolved callee.
+func (in *interp) commFree(fr *frame, stmt ast.Stmt) bool {
+	if stmt == nil {
+		return true
+	}
+	free := true
+	ast.Inspect(stmt, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return free
+		}
+		if _, isComm := framework.CommSiteAt(fr.pkg.Info, call); isComm {
+			free = false
+			return false
+		}
+		if key := in.callKey(fr.pkg.Info, call); key != "" && in.skels.CommReach(key) {
+			free = false
+			return false
+		}
+		return free
+	})
+	return free
+}
+
+// smearAssigned sets every identifier a skipped arm assigns to the unknown
+// variant of its current value.
+func (in *interp) smearAssigned(fr *frame, stmt ast.Stmt) {
+	smear := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := fr.pkg.Info.Uses[id]
+		if obj == nil {
+			obj = fr.pkg.Info.Defs[id]
+		}
+		if obj == nil {
+			return
+		}
+		if c := fr.lookup(obj); c != nil {
+			c.v = unknownVariant(c.v)
+		}
+	}
+	ast.Inspect(stmt, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				smear(l)
+			}
+		case *ast.IncDecStmt:
+			smear(s.X)
+		}
+		return true
+	})
+}
+
+func unknownVariant(v Value) Value {
+	switch v.(type) {
+	case IntVal:
+		return IntVal{}
+	case BoolVal:
+		return BoolVal{}
+	case StrVal:
+		return StrVal{}
+	case FloatVal:
+		return FloatVal{}
+	case *OpaqueVal:
+		return opaque()
+	}
+	return v
+}
+
+func (in *interp) execFor(fr *frame, st *ast.ForStmt) ctl {
+	if st.Init != nil {
+		in.execStmt(fr, st.Init)
+	}
+	for {
+		in.step(st.Pos())
+		if st.Cond != nil {
+			cond := in.evalExpr(fr, st.Cond)
+			b, ok := cond.(BoolVal)
+			if !ok || !b.Known {
+				fail(st.Cond.Pos(), "loop condition not concretely decidable")
+			}
+			if !b.V {
+				return ctlNoneV
+			}
+		}
+		c := in.execStmt(fr, st.Body)
+		switch c.kind {
+		case ctlBreak:
+			return ctlNoneV
+		case ctlReturn:
+			return c
+		}
+		if st.Post != nil {
+			in.execStmt(fr, st.Post)
+		}
+	}
+}
+
+func (in *interp) execRange(fr *frame, st *ast.RangeStmt) ctl {
+	info := fr.pkg.Info
+	assignKV := func(k, v Value) {
+		set := func(e ast.Expr, val Value) {
+			if e == nil {
+				return
+			}
+			if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+				return
+			}
+			if st.Tok == token.DEFINE {
+				id := e.(*ast.Ident)
+				if obj := info.Defs[id]; obj != nil {
+					fr.bind(obj, val)
+					return
+				}
+			}
+			in.assignTo(fr, e, val)
+		}
+		set(st.Key, k)
+		set(st.Value, v)
+	}
+
+	runBody := func() ctl {
+		in.step(st.Pos())
+		c := in.execStmt(fr, st.Body)
+		if c.kind == ctlBreak {
+			return ctl{kind: ctlNone}
+		}
+		return c
+	}
+
+	x := in.evalExpr(fr, st.X)
+	switch xs := x.(type) {
+	case *SliceVal:
+		for i := 0; i < len(xs.Elems); i++ {
+			assignKV(knownInt(int64(i)), xs.Elems[i])
+			if c := runBody(); c.kind != ctlNone {
+				if c.kind == ctlContinue {
+					continue
+				}
+				return c
+			}
+		}
+	case *MapVal:
+		// Insertion order: deterministic for the model; the real code sorts
+		// whenever map order matters.
+		done := false
+		var out ctl
+		xs.each(func(k, v Value) bool {
+			assignKV(k, v)
+			c := runBody()
+			if c.kind == ctlReturn || c.kind == ctlBreak {
+				out, done = c, true
+				return false
+			}
+			return true
+		})
+		if done && out.kind == ctlReturn {
+			return out
+		}
+	case IntVal:
+		if !xs.Known {
+			fail(st.X.Pos(), "range over unknown integer")
+		}
+		for i := int64(0); i < xs.V; i++ {
+			assignKV(knownInt(i), nil)
+			if c := runBody(); c.kind != ctlNone {
+				if c.kind == ctlContinue {
+					continue
+				}
+				return c
+			}
+		}
+	case NilVal:
+		// ranging over a nil slice/map: zero iterations
+	default:
+		fail(st.X.Pos(), "range over %T is not modeled", x)
+	}
+	return ctlNoneV
+}
+
+func (in *interp) execSwitch(fr *frame, st *ast.SwitchStmt) ctl {
+	if st.Init != nil {
+		in.execStmt(fr, st.Init)
+	}
+	var tag Value = knownBool(true)
+	if st.Tag != nil {
+		tag = in.evalExpr(fr, st.Tag)
+	}
+	var deflt *ast.CaseClause
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			v := in.evalExpr(fr, e)
+			eq, known := valueEq(tag, v)
+			if !known {
+				fail(e.Pos(), "switch case on opaque value")
+			}
+			if eq {
+				return in.execCaseBody(fr, cc)
+			}
+		}
+	}
+	if deflt != nil {
+		return in.execCaseBody(fr, deflt)
+	}
+	return ctlNoneV
+}
+
+func (in *interp) execCaseBody(fr *frame, cc *ast.CaseClause) ctl {
+	for _, s := range cc.Body {
+		if c := in.execStmt(fr, s); c.kind != ctlNone {
+			if c.kind == ctlBreak {
+				return ctlNoneV
+			}
+			return c
+		}
+	}
+	return ctlNoneV
+}
+
+func (in *interp) execDefer(fr *frame, st *ast.DeferStmt) {
+	// Arguments evaluate at defer time, the call runs at function exit.
+	call := st.Call
+	args := make([]Value, 0, len(call.Args))
+	for _, a := range call.Args {
+		args = append(args, in.evalExpr(fr, a))
+	}
+	fr.defers = append(fr.defers, func() {
+		in.applyCallPrepared(fr, call, args)
+	})
+}
+
+// applyCallPrepared re-dispatches a call whose arguments were already
+// evaluated (defers). Only the shapes the modeled code defers are handled.
+func (in *interp) applyCallPrepared(fr *frame, call *ast.CallExpr, args []Value) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv := in.evalExpr(fr, sel.X)
+		if pv, ok := recv.(ProcVal); ok {
+			in.procMethod(pv.mp, sel.Sel.Name, args, call)
+			return
+		}
+	}
+	if node := in.interpretedCallee(fr, call); node != nil && node.Decl.Recv == nil {
+		in.callDecl(node, nil, args, call.Pos())
+		return
+	}
+	fail(call.Pos(), "deferred call shape is not modeled")
+}
+
+// ---- expressions ----
+
+// evalExpr evaluates to exactly one value.
+func (in *interp) evalExpr(fr *frame, e ast.Expr) Value {
+	vs := in.evalMulti(fr, e)
+	if len(vs) != 1 {
+		fail(e.Pos(), "expected single value, got %d", len(vs))
+	}
+	return vs[0]
+}
+
+// evalMulti evaluates an expression that may produce a tuple (calls).
+func (in *interp) evalMulti(fr *frame, e ast.Expr) []Value {
+	in.step(e.Pos())
+	info := fr.pkg.Info
+
+	// Constants fold first — untyped literals, named consts (PhaseEval),
+	// cross-package consts, iota chains all come straight from go/types.
+	if tv, ok := info.Types[e]; ok {
+		if tv.Value != nil {
+			return []Value{constValue(tv.Value, e.Pos())}
+		}
+		if tv.IsNil() {
+			return []Value{NilVal{}}
+		}
+	}
+
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return in.evalMulti(fr, x.X)
+
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			fail(x.Pos(), "cannot resolve identifier %s", x.Name)
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			return []Value{FuncRef{Key: framework.FuncKey(fn)}}
+		}
+		if c := fr.lookup(obj); c != nil {
+			return []Value{c.v}
+		}
+		fail(x.Pos(), "unbound identifier %s (package-level state is not modeled)", x.Name)
+
+	case *ast.SelectorExpr:
+		// Package-qualified reference (pkg.F as a value).
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+					return []Value{FuncRef{Key: framework.FuncKey(fn)}}
+				}
+				fail(x.Pos(), "package-level reference %s.%s is not modeled", id.Name, x.Sel.Name)
+			}
+		}
+		recv := in.evalExpr(fr, x.X)
+		return []Value{in.fieldRead(fr, recv, x)}
+
+	case *ast.BinaryExpr:
+		return []Value{in.evalBinary(fr, x)}
+
+	case *ast.UnaryExpr:
+		return []Value{in.evalUnary(fr, x)}
+
+	case *ast.CallExpr:
+		return in.evalCall(fr, x)
+
+	case *ast.IndexExpr:
+		cont := in.evalExpr(fr, x.X)
+		switch c := cont.(type) {
+		case *SliceVal:
+			i := in.intOf(in.evalExpr(fr, x.Index), x.Index.Pos(), "index")
+			if i < 0 || int(i) >= len(c.Elems) {
+				fail(x.Pos(), "index %d out of range (len %d)", i, len(c.Elems))
+			}
+			return []Value{c.Elems[i]}
+		case *MapVal:
+			v, ok := c.get(in.evalExpr(fr, x.Index))
+			if !ok {
+				v = in.zeroValue(info.Types[e].Type, x.Pos())
+			}
+			return []Value{v}
+		case NilVal:
+			if _, isMap := info.Types[x.X].Type.Underlying().(*types.Map); isMap {
+				return []Value{in.zeroValue(info.Types[e].Type, x.Pos())}
+			}
+			fail(x.Pos(), "index into nil slice")
+		}
+		fail(x.Pos(), "index into %T is not modeled", cont)
+
+	case *ast.SliceExpr:
+		sv, ok := in.evalExpr(fr, x.X).(*SliceVal)
+		if !ok {
+			fail(x.Pos(), "slice of non-slice value")
+		}
+		lo, hi := int64(0), int64(len(sv.Elems))
+		if x.Low != nil {
+			lo = in.intOf(in.evalExpr(fr, x.Low), x.Low.Pos(), "slice low bound")
+		}
+		if x.High != nil {
+			hi = in.intOf(in.evalExpr(fr, x.High), x.High.Pos(), "slice high bound")
+		}
+		if lo < 0 || hi < lo || int(hi) > len(sv.Elems) {
+			fail(x.Pos(), "slice bounds [%d:%d] out of range (len %d)", lo, hi, len(sv.Elems))
+		}
+		out := make([]Value, hi-lo)
+		copy(out, sv.Elems[lo:hi])
+		return []Value{&SliceVal{Elems: out}}
+
+	case *ast.StarExpr:
+		v := in.evalExpr(fr, x.X)
+		if _, ok := v.(*StructVal); ok {
+			return []Value{v} // structs already have reference semantics
+		}
+		fail(x.Pos(), "dereference of %T is not modeled", v)
+
+	case *ast.CompositeLit:
+		return []Value{in.evalComposite(fr, x)}
+
+	case *ast.FuncLit:
+		return []Value{&ClosureVal{Lit: x, Fr: fr, Pkg: fr.pkg}}
+	}
+	fail(e.Pos(), "expression %T is not modeled", e)
+	return nil
+}
+
+func constValue(v constant.Value, pos token.Pos) Value {
+	switch v.Kind() {
+	case constant.Int:
+		i, ok := constant.Int64Val(v)
+		if !ok {
+			fail(pos, "constant overflows int64")
+		}
+		return knownInt(i)
+	case constant.String:
+		return knownStr(constant.StringVal(v))
+	case constant.Bool:
+		return knownBool(constant.BoolVal(v))
+	case constant.Float:
+		f, _ := constant.Float64Val(v)
+		return FloatVal{Known: true, V: f}
+	}
+	fail(pos, "constant kind %v is not modeled", v.Kind())
+	return nil
+}
+
+// fieldRead reads a struct field (with typed zero for fields never written).
+func (in *interp) fieldRead(fr *frame, recv Value, sel *ast.SelectorExpr) Value {
+	switch r := recv.(type) {
+	case *StructVal:
+		if v, ok := r.Fields[sel.Sel.Name]; ok {
+			return v
+		}
+		t := fr.pkg.Info.Types[sel].Type
+		return in.zeroValue(t, sel.Pos())
+	case NativeVal:
+		return nativeField(r, sel.Sel.Name, sel.Pos())
+	}
+	fail(sel.Pos(), "field %s of %T is not modeled", sel.Sel.Name, recv)
+	return nil
+}
+
+func (in *interp) evalBinary(fr *frame, x *ast.BinaryExpr) Value {
+	// Short-circuit logic with three-valued unknowns.
+	if x.Op == token.LAND || x.Op == token.LOR {
+		l := in.boolOf(in.evalExpr(fr, x.X), x.X.Pos())
+		if l.Known {
+			if x.Op == token.LAND && !l.V {
+				return knownBool(false)
+			}
+			if x.Op == token.LOR && l.V {
+				return knownBool(true)
+			}
+			return in.boolOf(in.evalExpr(fr, x.Y), x.Y.Pos())
+		}
+		r := in.boolOf(in.evalExpr(fr, x.Y), x.Y.Pos())
+		if r.Known {
+			if x.Op == token.LAND && !r.V {
+				return knownBool(false)
+			}
+			if x.Op == token.LOR && r.V {
+				return knownBool(true)
+			}
+		}
+		return BoolVal{}
+	}
+	l := in.evalExpr(fr, x.X)
+	r := in.evalExpr(fr, x.Y)
+	return in.binop(l, x.Op, r, x.Pos())
+}
+
+func (in *interp) binop(l Value, op token.Token, r Value, pos token.Pos) Value {
+	switch op {
+	case token.EQL, token.NEQ:
+		eq, known := valueEq(l, r)
+		if !known {
+			return BoolVal{}
+		}
+		return knownBool(eq == (op == token.EQL))
+	}
+
+	// Opaque payload scalars (model digits, Ints elements) are closed under
+	// arithmetic — the result is another opaque scalar — and undecidable
+	// under ordering. Payload values never steer communication (branching
+	// on an opaque bool fails elsewhere), so this is sound for protocol
+	// properties.
+	_, lo := l.(*OpaqueVal)
+	_, ro := r.(*OpaqueVal)
+	if (lo || ro) && isArithOperand(l) && isArithOperand(r) {
+		switch op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return BoolVal{}
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+			return opaque()
+		}
+	}
+
+	switch lv := l.(type) {
+	case IntVal:
+		rv, ok := r.(IntVal)
+		if !ok {
+			fail(pos, "integer op %s against %T", op, r)
+		}
+		if !lv.Known || !rv.Known {
+			switch op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				return BoolVal{}
+			}
+			return IntVal{}
+		}
+		return intOp(lv.V, op, rv.V, pos)
+	case StrVal:
+		rv, ok := r.(StrVal)
+		if !ok {
+			fail(pos, "string op %s against %T", op, r)
+		}
+		if !lv.Known || !rv.Known {
+			if op == token.ADD {
+				return StrVal{}
+			}
+			return BoolVal{}
+		}
+		switch op {
+		case token.ADD:
+			return knownStr(lv.V + rv.V)
+		case token.LSS:
+			return knownBool(lv.V < rv.V)
+		case token.LEQ:
+			return knownBool(lv.V <= rv.V)
+		case token.GTR:
+			return knownBool(lv.V > rv.V)
+		case token.GEQ:
+			return knownBool(lv.V >= rv.V)
+		}
+	case FloatVal:
+		rv, okF := r.(FloatVal)
+		if !okF {
+			if ri, okI := r.(IntVal); okI {
+				rv = FloatVal{Known: ri.Known, V: float64(ri.V)}
+			} else {
+				fail(pos, "float op %s against %T", op, r)
+			}
+		}
+		if !lv.Known || !rv.Known {
+			switch op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				return BoolVal{}
+			}
+			return FloatVal{}
+		}
+		switch op {
+		case token.ADD:
+			return FloatVal{Known: true, V: lv.V + rv.V}
+		case token.SUB:
+			return FloatVal{Known: true, V: lv.V - rv.V}
+		case token.MUL:
+			return FloatVal{Known: true, V: lv.V * rv.V}
+		case token.QUO:
+			return FloatVal{Known: true, V: lv.V / rv.V}
+		case token.LSS:
+			return knownBool(lv.V < rv.V)
+		case token.LEQ:
+			return knownBool(lv.V <= rv.V)
+		case token.GTR:
+			return knownBool(lv.V > rv.V)
+		case token.GEQ:
+			return knownBool(lv.V >= rv.V)
+		}
+	}
+	fail(pos, "binary op %s on %T is not modeled", op, l)
+	return nil
+}
+
+// isArithOperand reports values opaque arithmetic may combine with.
+func isArithOperand(v Value) bool {
+	switch v.(type) {
+	case *OpaqueVal, IntVal:
+		return true
+	}
+	return false
+}
+
+func intOp(a int64, op token.Token, b int64, pos token.Pos) Value {
+	switch op {
+	case token.ADD:
+		return knownInt(a + b)
+	case token.SUB:
+		return knownInt(a - b)
+	case token.MUL:
+		return knownInt(a * b)
+	case token.QUO:
+		if b == 0 {
+			fail(pos, "integer division by zero")
+		}
+		return knownInt(a / b)
+	case token.REM:
+		if b == 0 {
+			fail(pos, "integer modulo by zero")
+		}
+		return knownInt(a % b)
+	case token.SHL:
+		return knownInt(a << uint(b))
+	case token.SHR:
+		return knownInt(a >> uint(b))
+	case token.AND:
+		return knownInt(a & b)
+	case token.OR:
+		return knownInt(a | b)
+	case token.XOR:
+		return knownInt(a ^ b)
+	case token.AND_NOT:
+		return knownInt(a &^ b)
+	case token.LSS:
+		return knownBool(a < b)
+	case token.LEQ:
+		return knownBool(a <= b)
+	case token.GTR:
+		return knownBool(a > b)
+	case token.GEQ:
+		return knownBool(a >= b)
+	}
+	fail(pos, "integer op %s is not modeled", op)
+	return nil
+}
+
+// valueEq compares two values for ==; known=false when undecidable.
+func valueEq(l, r Value) (eq, known bool) {
+	switch lv := l.(type) {
+	case IntVal:
+		if rv, ok := r.(IntVal); ok {
+			if lv.Known && rv.Known {
+				return lv.V == rv.V, true
+			}
+			return false, false
+		}
+	case StrVal:
+		if rv, ok := r.(StrVal); ok {
+			if lv.Known && rv.Known {
+				return lv.V == rv.V, true
+			}
+			return false, false
+		}
+	case BoolVal:
+		if rv, ok := r.(BoolVal); ok {
+			if lv.Known && rv.Known {
+				return lv.V == rv.V, true
+			}
+			return false, false
+		}
+	case FloatVal:
+		if rv, ok := r.(FloatVal); ok {
+			if lv.Known && rv.Known {
+				return lv.V == rv.V, true
+			}
+			return false, false
+		}
+	case NilVal:
+		switch r.(type) {
+		case NilVal:
+			return true, true
+		case ErrVal, *SliceVal, *MapVal, *StructVal, *ClosureVal, FuncRef, NativeVal, ProcVal:
+			return false, true
+		}
+	case ErrVal, *SliceVal, *MapVal, *ClosureVal, FuncRef:
+		if _, ok := r.(NilVal); ok {
+			return false, true
+		}
+	case *StructVal:
+		if _, ok := r.(NilVal); ok {
+			return false, true
+		}
+		if rv, ok := r.(*StructVal); ok {
+			return lv == rv, true
+		}
+	case ProcVal:
+		if rv, ok := r.(ProcVal); ok {
+			return lv.mp == rv.mp, true
+		}
+	case *OpaqueVal:
+		return false, false
+	}
+	if _, ok := r.(*OpaqueVal); ok {
+		return false, false
+	}
+	return false, false
+}
+
+func (in *interp) evalUnary(fr *frame, x *ast.UnaryExpr) Value {
+	switch x.Op {
+	case token.AND: // &composite, &localVar of struct type
+		v := in.evalExpr(fr, x.X)
+		if _, ok := v.(*StructVal); ok {
+			return v
+		}
+		if _, ok := v.(NativeVal); ok {
+			return v
+		}
+		fail(x.Pos(), "address of %T is not modeled", v)
+	case token.NOT:
+		b := in.boolOf(in.evalExpr(fr, x.X), x.Pos())
+		if !b.Known {
+			return BoolVal{}
+		}
+		return knownBool(!b.V)
+	case token.SUB:
+		switch v := in.evalExpr(fr, x.X).(type) {
+		case IntVal:
+			if !v.Known {
+				return IntVal{}
+			}
+			return knownInt(-v.V)
+		case FloatVal:
+			if !v.Known {
+				return FloatVal{}
+			}
+			return FloatVal{Known: true, V: -v.V}
+		}
+	case token.ADD:
+		return in.evalExpr(fr, x.X)
+	}
+	fail(x.Pos(), "unary op %s is not modeled", x.Op)
+	return nil
+}
+
+func (in *interp) evalComposite(fr *frame, x *ast.CompositeLit) Value {
+	info := fr.pkg.Info
+	t := info.Types[x].Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		var n int
+		if arr, ok := u.(*types.Array); ok {
+			n = int(arr.Len())
+		}
+		elems := make([]Value, 0, len(x.Elts))
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				i := in.intOf(in.evalExpr(fr, kv.Key), kv.Pos(), "array index")
+				for int(i) >= len(elems) {
+					elems = append(elems, NilVal{})
+				}
+				elems[i] = in.evalExpr(fr, kv.Value)
+				continue
+			}
+			elems = append(elems, in.evalExpr(fr, el))
+		}
+		for len(elems) < n {
+			var et types.Type
+			if arr, ok := u.(*types.Array); ok {
+				et = arr.Elem()
+			}
+			elems = append(elems, in.zeroValue(et, x.Pos()))
+		}
+		return &SliceVal{Elems: elems}
+
+	case *types.Map:
+		m := newMap()
+		for _, el := range x.Elts {
+			kv := el.(*ast.KeyValueExpr)
+			m.set(in.evalExpr(fr, kv.Key), in.evalExpr(fr, kv.Value))
+		}
+		return m
+
+	case *types.Struct:
+		sv := &StructVal{Type: framework.NamedTypeName(t), Fields: map[string]Value{}}
+		for i, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				sv.Fields[kv.Key.(*ast.Ident).Name] = in.evalExpr(fr, kv.Value)
+				continue
+			}
+			sv.Fields[u.Field(i).Name()] = in.evalExpr(fr, el)
+		}
+		return sv
+	}
+	fail(x.Pos(), "composite literal of %v is not modeled", t)
+	return nil
+}
+
+// ---- typed zeros and coercions ----
+
+func (in *interp) zeroValue(t types.Type, pos token.Pos) Value {
+	if t == nil {
+		return NilVal{}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		switch {
+		case info&types.IsBoolean != 0:
+			return knownBool(false)
+		case info&types.IsInteger != 0:
+			return knownInt(0)
+		case info&types.IsString != 0:
+			return knownStr("")
+		case info&types.IsFloat != 0:
+			return FloatVal{Known: true, V: 0}
+		}
+	case *types.Slice, *types.Map, *types.Pointer, *types.Signature, *types.Chan, *types.Interface:
+		return NilVal{}
+	case *types.Struct:
+		// The zero bigint.Int (and fixture stand-ins named Int) is the
+		// known integer 0 — IsZero on it must stay decidable.
+		if framework.NamedTypeName(t) == "Int" {
+			return opaqueOf(0)
+		}
+		sv := &StructVal{Type: framework.NamedTypeName(t), Fields: map[string]Value{}}
+		for i := 0; i < u.NumFields(); i++ {
+			sv.Fields[u.Field(i).Name()] = in.zeroValue(u.Field(i).Type(), pos)
+		}
+		return sv
+	case *types.Array:
+		n := int(u.Len())
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = in.zeroValue(u.Elem(), pos)
+		}
+		return &SliceVal{Elems: elems}
+	}
+	fail(pos, "zero value of %v is not modeled", t)
+	return nil
+}
+
+func (in *interp) intOf(v Value, pos token.Pos, what string) int64 {
+	iv, ok := v.(IntVal)
+	if !ok {
+		fail(pos, "%s is %T, not an integer", what, v)
+	}
+	if !iv.Known {
+		fail(pos, "%s depends on opaque data", what)
+	}
+	return iv.V
+}
+
+func (in *interp) strOf(v Value, pos token.Pos, what string) string {
+	sv, ok := v.(StrVal)
+	if !ok {
+		fail(pos, "%s is %T, not a string", what, v)
+	}
+	if !sv.Known {
+		fail(pos, "%s depends on opaque data", what)
+	}
+	return sv.V
+}
+
+func (in *interp) boolOf(v Value, pos token.Pos) BoolVal {
+	b, ok := v.(BoolVal)
+	if !ok {
+		fail(pos, "expected bool, got %T", v)
+	}
+	return b
+}
+
+// sortedKeys returns a proc store's keys, sorted.
+func sortedKeys(m map[string]Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

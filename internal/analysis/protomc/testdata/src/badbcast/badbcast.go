@@ -1,0 +1,39 @@
+// Dirty fixture: a broadcast whose fan-out loop stops one rank short. In
+// every world whose root is not the last rank, that rank waits forever —
+// protomc must report the deadlock with a counterexample interleaving.
+package badbcast
+
+type Ints []int64
+
+type Group []int
+
+type Proc struct{}
+
+func (p *Proc) ID() int                                 { return 0 }
+func (p *Proc) Send(to int, tag string, v Ints) error   { return nil }
+func (p *Proc) Recv(from int, tag string) (Ints, error) { return nil, nil }
+
+func index(g Group, id int) int {
+	for i := 0; i < len(g); i++ {
+		if g[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func Broadcast(p *Proc, g Group, root int, tag string, v Ints) (Ints, error) {
+	me := index(g, p.ID())
+	if me == root {
+		for i := 0; i < len(g)-1; i++ { // BUG: drops the last rank
+			if i == root {
+				continue
+			}
+			if err := p.Send(g[i], tag, v); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	}
+	return p.Recv(g[root], tag) // want "deadlock: p. waits for tag"
+}

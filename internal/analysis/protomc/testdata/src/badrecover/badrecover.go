@@ -1,0 +1,49 @@
+// Dirty fixture: a checkpoint protocol that sends before a barrier and
+// receives after it. Fault-free it is clean — but when the checker injects
+// a fail-stop at the barrier on the receiving rank, the replacement (with
+// wiped state) consumes a message addressed to its failed predecessor,
+// which protomc must flag as stale cross-fault delivery.
+package badrecover
+
+type Ints []int64
+
+type Group []int
+
+type FaultEvent struct {
+	Proc  int
+	Phase string
+}
+
+type Proc struct{}
+
+func (p *Proc) ID() int                                    { return 0 }
+func (p *Proc) Send(to int, tag string, v Ints) error      { return nil }
+func (p *Proc) Recv(from int, tag string) (Ints, error)    { return nil, nil }
+func (p *Proc) Barrier(phase string) ([]FaultEvent, error) { return nil, nil }
+
+func index(g Group, id int) int {
+	for i := 0; i < len(g); i++ {
+		if g[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func Checkpoint(p *Proc, g Group, tag string) error {
+	if me := index(g, p.ID()); me == 0 {
+		// BUG: crosses the recovery barrier with a message in flight.
+		if err := p.Send(g[1], tag, Ints{1}); err != nil { // want "sent to its predecessor"
+			return err
+		}
+	}
+	if _, err := p.Barrier(tag + "/sync"); err != nil {
+		return err
+	}
+	if me := index(g, p.ID()); me == 1 {
+		if _, err := p.Recv(g[0], tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Dirty fixture: a barrier-synchronized reduce whose fan-in loop never
+// drains the last contributor. The barrier forces every send to land before
+// the root exits, so the mismatch shows up as an orphan message left queued
+// at termination.
+package badreduce
+
+type Ints []int64
+
+type Group []int
+
+type FaultEvent struct {
+	Proc  int
+	Phase string
+}
+
+type Proc struct{}
+
+func (p *Proc) ID() int                                    { return 0 }
+func (p *Proc) Send(to int, tag string, v Ints) error      { return nil }
+func (p *Proc) Recv(from int, tag string) (Ints, error)    { return nil, nil }
+func (p *Proc) Barrier(phase string) ([]FaultEvent, error) { return nil, nil }
+
+func index(g Group, id int) int {
+	for i := 0; i < len(g); i++ {
+		if g[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func add(a, b Ints) Ints {
+	out := make(Ints, len(a))
+	for i := 0; i < len(a); i++ {
+		out[i] = a[i]
+	}
+	for i := 0; i < len(b); i++ {
+		out[i] = out[i] + b[i]
+	}
+	return out
+}
+
+func Reduce(p *Proc, g Group, root int, tag string, mine Ints) (Ints, error) {
+	me := index(g, p.ID())
+	if me != root {
+		if err := p.Send(g[root], tag, mine); err != nil { // want "is never received"
+			return nil, err
+		}
+	}
+	if _, err := p.Barrier(tag + "/done"); err != nil {
+		return nil, err
+	}
+	if me != root {
+		return nil, nil
+	}
+	acc := mine
+	for i := 0; i < len(g)-1; i++ { // BUG: the last contributor is never drained
+		if i == root {
+			continue
+		}
+		v, err := p.Recv(g[i], tag)
+		if err != nil {
+			return nil, err
+		}
+		acc = add(acc, v)
+	}
+	return acc, nil
+}

@@ -1,0 +1,100 @@
+// Clean fixture: linear-root collective protocols that protomc must prove
+// deadlock-free for every world size n in [2,5] and every root, with no
+// orphan messages and fault-plan-tolerant barriers. Any finding in this
+// package is an analyzer bug. (There are deliberately no want comments.)
+package collective
+
+type Ints []int64
+
+type Group []int
+
+type FaultEvent struct {
+	Proc  int
+	Phase string
+}
+
+// Proc is the fixture stand-in for machine.Proc; protomc serves its methods
+// from the model transport, so the stub bodies never run.
+type Proc struct{}
+
+func (p *Proc) ID() int                                    { return 0 }
+func (p *Proc) P() int                                     { return 1 }
+func (p *Proc) Send(to int, tag string, v Ints) error      { return nil }
+func (p *Proc) Recv(from int, tag string) (Ints, error)    { return nil, nil }
+func (p *Proc) Barrier(phase string) ([]FaultEvent, error) { return nil, nil }
+
+func index(g Group, id int) int {
+	for i := 0; i < len(g); i++ {
+		if g[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func add(a, b Ints) Ints {
+	out := make(Ints, len(a))
+	for i := 0; i < len(a); i++ {
+		out[i] = a[i]
+	}
+	for i := 0; i < len(b); i++ {
+		out[i] = out[i] + b[i]
+	}
+	return out
+}
+
+// Broadcast sends root's vector to every other group member.
+func Broadcast(p *Proc, g Group, root int, tag string, v Ints) (Ints, error) {
+	me := index(g, p.ID())
+	if me == root {
+		for i := 0; i < len(g); i++ {
+			if i == root {
+				continue
+			}
+			if err := p.Send(g[i], tag, v); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	}
+	return p.Recv(g[root], tag)
+}
+
+// Reduce accumulates every member's vector at root.
+func Reduce(p *Proc, g Group, root int, tag string, mine Ints) (Ints, error) {
+	me := index(g, p.ID())
+	if me != root {
+		return nil, p.Send(g[root], tag, mine)
+	}
+	acc := mine
+	for i := 0; i < len(g); i++ {
+		if i == root {
+			continue
+		}
+		v, err := p.Recv(g[i], tag)
+		if err != nil {
+			return nil, err
+		}
+		acc = add(acc, v)
+	}
+	return acc, nil
+}
+
+// AllReduce reduces at rank 0, then broadcasts the result.
+func AllReduce(p *Proc, g Group, tag string, mine Ints) (Ints, error) {
+	acc, err := Reduce(p, g, 0, tag, mine)
+	if err != nil {
+		return nil, err
+	}
+	return Broadcast(p, g, 0, tag+"/bc", acc)
+}
+
+// Sync crosses one barrier. The checker injects a fail-stop at every
+// crossing; the protocol holds no cross-barrier state, so every plan must
+// complete cleanly.
+func Sync(p *Proc, g Group, tag string) error {
+	if _, err := p.Barrier(tag); err != nil {
+		return err
+	}
+	return nil
+}

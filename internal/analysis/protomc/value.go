@@ -1,0 +1,269 @@
+// Package protomc model-checks the communication protocols of the
+// collective and fault-tolerant multiplication layers: it interprets the
+// real per-processor (SPMD) function bodies over small concrete worlds,
+// exploring every nondeterministic outcome (receive-deadline timing, fault
+// plans mirroring machine/faultinject's fail-stop-with-replacement
+// semantics) and proving deadlock freedom, send/recv matching, and that no
+// traffic is left addressed to a failed processor.
+//
+// The interpreter is exact where the protocol is concrete (ranks, group
+// arithmetic, loop bounds, tags) and abstract where only data flows: big
+// integers and payload words are opaque values, and branches on opaque
+// conditions follow two sound policies — an arm that merely returns an
+// error is assumed not taken (the local-failure-free assumption; arithmetic
+// invariants are other analyzers' jobs), and a communication-free arm may be
+// skipped outright since it cannot change the communication shape.
+package protomc
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Value is the interpreter's abstract value domain.
+type Value interface{ isValue() }
+
+// IntVal is any integer-kind value; Known is false for data-derived
+// integers the model does not track (word counts, cost charges).
+type IntVal struct {
+	Known bool
+	V     int64
+}
+
+// FloatVal models virtual-time floats (Clock, deadlines). The checker
+// abstracts time, so the value is carried but never branched on.
+type FloatVal struct {
+	Known bool
+	V     float64
+}
+
+// BoolVal is a boolean; unknown booleans arise from predicates on opaque
+// data and are resolved by the branch policies in interp.go.
+type BoolVal struct {
+	Known bool
+	V     bool
+}
+
+// StrVal is a string (message tags, phases, path names).
+type StrVal struct {
+	Known bool
+	V     string
+}
+
+// NilVal is the nil of any nilable type, including nil errors.
+type NilVal struct{}
+
+// ErrVal is a non-nil error value.
+type ErrVal struct{ Msg string }
+
+// OpaqueVal abstracts one payload scalar (a bigint.Int). Known is non-nil
+// when the value provably equals FromInt64(*Known) — the straggler decision
+// protocol encodes column choices as small integers and decodes them with
+// Int64, so that round trip must stay exact.
+type OpaqueVal struct{ Known *int64 }
+
+// SliceVal is a slice or array; used by pointer so element assignment
+// aliases like Go slices. Subslicing copies the element list (the modeled
+// protocols never write through a subslice).
+type SliceVal struct{ Elems []Value }
+
+// MapVal is a map with deterministic (insertion-order) iteration; keys are
+// canonicalized with keyString.
+type MapVal struct {
+	keys []string
+	vals map[string]mapEntry
+}
+
+type mapEntry struct {
+	key Value
+	val Value
+}
+
+// StructVal is a struct or pointer-to-struct; the interpreter gives structs
+// reference semantics (the modeled code never mutates a by-value copy).
+type StructVal struct {
+	Type   string
+	Fields map[string]Value
+}
+
+// TupleVal carries a multi-value result between call and assignment.
+type TupleVal struct{ Vals []Value }
+
+// ClosureVal is an interpreted function literal with its captured frame.
+type ClosureVal struct {
+	Lit *ast.FuncLit
+	Fr  *frame
+	Pkg *framework.Package
+}
+
+// FuncRef is a reference to a declared function used as a value.
+type FuncRef struct{ Key string }
+
+// NativeVal wraps a real Go value (toom.Algorithm, points.Point, rat.Rat,
+// mat.Matrix, erasure.Code) bridged by reflection in native.go.
+type NativeVal struct{ V any }
+
+// ProcVal is the model processor handle; its transport verbs are
+// implemented by the checker.
+type ProcVal struct{ mp *modelProc }
+
+func (IntVal) isValue()      {}
+func (FloatVal) isValue()    {}
+func (BoolVal) isValue()     {}
+func (StrVal) isValue()      {}
+func (NilVal) isValue()      {}
+func (ErrVal) isValue()      {}
+func (*OpaqueVal) isValue()  {}
+func (*SliceVal) isValue()   {}
+func (*MapVal) isValue()     {}
+func (*StructVal) isValue()  {}
+func (TupleVal) isValue()    {}
+func (*ClosureVal) isValue() {}
+func (FuncRef) isValue()     {}
+func (NativeVal) isValue()   {}
+func (ProcVal) isValue()     {}
+
+func knownInt(v int64) IntVal     { return IntVal{Known: true, V: v} }
+func unknownInt() IntVal          { return IntVal{} }
+func knownBool(v bool) BoolVal    { return BoolVal{Known: true, V: v} }
+func knownStr(s string) StrVal    { return StrVal{Known: true, V: s} }
+func opaque() *OpaqueVal          { return &OpaqueVal{} }
+func opaqueOf(v int64) *OpaqueVal { k := v; return &OpaqueVal{Known: &k} }
+
+func newSlice(elems ...Value) *SliceVal { return &SliceVal{Elems: elems} }
+
+func newMap() *MapVal { return &MapVal{vals: map[string]mapEntry{}} }
+
+func (m *MapVal) get(k Value) (Value, bool) {
+	e, ok := m.vals[keyString(k)]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+func (m *MapVal) set(k, v Value) {
+	s := keyString(k)
+	if _, ok := m.vals[s]; !ok {
+		m.keys = append(m.keys, s)
+	}
+	m.vals[s] = mapEntry{key: k, val: v}
+}
+
+func (m *MapVal) len() int { return len(m.keys) }
+
+// each iterates entries in insertion order (deterministic model runs; the
+// modeled code sorts whenever order matters, so insertion order is safe).
+func (m *MapVal) each(f func(k, v Value) bool) {
+	for _, s := range m.keys {
+		e := m.vals[s]
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// keyString canonicalizes a map key.
+func keyString(v Value) string {
+	switch x := v.(type) {
+	case IntVal:
+		if x.Known {
+			return fmt.Sprintf("i:%d", x.V)
+		}
+		return "i:?"
+	case StrVal:
+		if x.Known {
+			return "s:" + x.V
+		}
+		return "s:?"
+	case BoolVal:
+		return fmt.Sprintf("b:%v:%v", x.Known, x.V)
+	case *SliceVal: // array keys like [2]int
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			parts[i] = keyString(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case NilVal:
+		return "nil"
+	}
+	return fmt.Sprintf("%T:?", v)
+}
+
+// formatValue renders a value the way fmt does for the concrete shapes the
+// protocols print (Sprint of an []int survivor set, %d of ints, %s of
+// strings). ok is false when the value is not concretely printable.
+func formatValue(v Value) (string, bool) {
+	switch x := v.(type) {
+	case IntVal:
+		if !x.Known {
+			return "", false
+		}
+		return fmt.Sprintf("%d", x.V), true
+	case FloatVal:
+		if !x.Known {
+			return "", false
+		}
+		return fmt.Sprint(x.V), true
+	case StrVal:
+		if !x.Known {
+			return "", false
+		}
+		return x.V, true
+	case BoolVal:
+		if !x.Known {
+			return "", false
+		}
+		return fmt.Sprintf("%v", x.V), true
+	case ErrVal:
+		return x.Msg, true
+	case *SliceVal:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			s, ok := formatValue(e)
+			if !ok {
+				return "", false
+			}
+			parts[i] = s
+		}
+		return "[" + strings.Join(parts, " ") + "]", true
+	case NilVal:
+		return "<nil>", true
+	}
+	return "", false
+}
+
+// copyPayload deep-copies the value shapes that cross the model transport,
+// so a receiver can never mutate a sender's state through aliasing.
+func copyPayload(v Value) Value {
+	switch x := v.(type) {
+	case *SliceVal:
+		out := make([]Value, len(x.Elems))
+		for i, e := range x.Elems {
+			out[i] = copyPayload(e)
+		}
+		return &SliceVal{Elems: out}
+	case *StructVal:
+		f := make(map[string]Value, len(x.Fields))
+		for k, e := range x.Fields {
+			f[k] = copyPayload(e)
+		}
+		return &StructVal{Type: x.Type, Fields: f}
+	default:
+		return v
+	}
+}
+
+// sortedFieldNames helps deterministic debugging output.
+func sortedFieldNames(s *StructVal) []string {
+	out := make([]string, 0, len(s.Fields))
+	for k := range s.Fields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
