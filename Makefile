@@ -8,9 +8,9 @@ build:
 test:
 	$(GO) test ./...
 
-# Machine-checked invariants: the eleven ftlint analyzers (arenasafe, accown,
+# Machine-checked invariants: the twelve ftlint analyzers (arenasafe, accown,
 # poolspawn, natalias, costcharge, chanproto, statsrace, recoverpath,
-# modbound, tagflow, protomc) plus
+# modbound, tagflow, protomc, costbound) plus
 # the stale-suppression audit, over the whole tree — including
 # internal/analysis itself. See DESIGN.md "Machine-checked invariants".
 # Fixture packages under testdata are not go-list packages, so ./... never
@@ -38,7 +38,7 @@ bench:
 
 # Regenerate the committed benchmark snapshot for the current PR (the
 # BENCH_PR*.json trajectory is append-only; see cmd/benchjson).
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 benchjson:
 	$(GO) run ./cmd/benchjson -count 3 -out $(BENCH_OUT)
 

@@ -238,7 +238,9 @@ func runGate(path string, fresh Snapshot) int {
 // side (older snapshot, non-Linux host) is no evidence of a change.
 func envDiffs(base, fresh benchenv.Env) []string {
 	var diffs []string
-	if base.CPUModel != "" && fresh.CPUModel != "" && base.CPUModel != fresh.CPUModel {
+	// Case-insensitive: /proc/cpuinfo capitalization differs across kernel
+	// versions and vendors ("Intel(R)" vs "intel(r)") for the same silicon.
+	if base.CPUModel != "" && fresh.CPUModel != "" && !strings.EqualFold(base.CPUModel, fresh.CPUModel) {
 		diffs = append(diffs, fmt.Sprintf("cpu model %q → %q", base.CPUModel, fresh.CPUModel))
 	}
 	if base.Governor != "" && fresh.Governor != "" && base.Governor != fresh.Governor {

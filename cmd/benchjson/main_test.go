@@ -74,6 +74,21 @@ func TestGateEnvGuard(t *testing.T) {
 	}
 }
 
+// TestEnvDiffCPUModelCaseInsensitive: /proc/cpuinfo capitalization varies
+// across kernels and vendors for the same silicon, so a case-only CPU model
+// difference is not an environment change — while a real model change still
+// is, whatever its case.
+func TestEnvDiffCPUModelCaseInsensitive(t *testing.T) {
+	upper := benchenv.Env{CPUModel: "Intel(R) Xeon(R) 8481C", Governor: "performance"}
+	lower := benchenv.Env{CPUModel: "intel(r) xeon(r) 8481c", Governor: "performance"}
+	if diffs := envDiffs(upper, lower); len(diffs) != 0 {
+		t.Errorf("case-only CPU model difference reported as env change: %v", diffs)
+	}
+	if diffs := envDiffs(upper, envA); len(diffs) != 1 || !strings.Contains(diffs[0], "cpu model") {
+		t.Errorf("real CPU model change not reported: %v", diffs)
+	}
+}
+
 // TestGateEmptyEnvStillGates: a field missing on either side (older snapshot,
 // non-Linux host) is no evidence the machine changed — the gate stays hard.
 func TestGateEmptyEnvStillGates(t *testing.T) {

@@ -20,7 +20,12 @@
 // root, every tolerated single fail-stop fault plan), proving
 // deadlock-freedom, send/recv matching, barrier phase consistency, and
 // fault-recovery completion — each violation reported with a concrete
-// counterexample interleaving. The run also audits the
+// counterexample interleaving. Since PR 9, costbound derives the F/BW/L
+// cost polynomials of the binomial-tree collectives (symbolic in g and W)
+// and of both multiplication tiers (exactly, over the finite crosscheck
+// worlds) from the real ASTs and certifies them against the paper's Table
+// 1/2 closed forms — a divergence carries both formulas and a concrete
+// witness world. The run also audits the
 // //ftlint:allow comments themselves: an allow that names an unknown
 // analyzer or no longer suppresses anything is a finding (allowaudit). See
 // DESIGN.md "Machine-checked invariants".
@@ -48,6 +53,7 @@ import (
 	"repro/internal/analysis/accown"
 	"repro/internal/analysis/arenasafe"
 	"repro/internal/analysis/chanproto"
+	"repro/internal/analysis/costbound"
 	"repro/internal/analysis/costcharge"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/modbound"
@@ -71,6 +77,7 @@ var analyzers = []*framework.Analyzer{
 	modbound.Analyzer,
 	tagflow.Analyzer,
 	protomc.Analyzer,
+	costbound.Analyzer,
 }
 
 // jsonFinding is one entry of the -json report. The schema is covered by
@@ -88,6 +95,11 @@ type jsonFinding struct {
 	// event per entry. Only protomc findings populate them.
 	World string   `json:"world,omitempty"`
 	Trace []string `json:"trace,omitempty"`
+	// Formula and Witness carry a cost-certification divergence: the
+	// derived-vs-expected polynomial pair and the concrete assignment that
+	// separates them. Only costbound findings populate them.
+	Formula string `json:"formula,omitempty"`
+	Witness string `json:"witness,omitempty"`
 }
 
 // jsonReport is the top-level -json payload.
@@ -108,6 +120,8 @@ func toJSON(ds []framework.Diagnostic) []jsonFinding {
 			SuppressedBy: d.SuppressedBy,
 			World:        d.World,
 			Trace:        d.Trace,
+			Formula:      d.Formula,
+			Witness:      d.Witness,
 		})
 	}
 	return out

@@ -116,6 +116,8 @@ func TestJSONGolden(t *testing.T) {
 			SuppressedBy string   `json:"suppressed_by"`
 			World        string   `json:"world"`
 			Trace        []string `json:"trace"`
+			Formula      string   `json:"formula"`
+			Witness      string   `json:"witness"`
 		} `json:"findings"`
 		Suppressed []struct {
 			File         string `json:"file"`
@@ -141,7 +143,7 @@ func TestJSONGolden(t *testing.T) {
 			t.Errorf("active finding carries suppressed_by: %+v", f)
 		}
 	}
-	for _, want := range []string{"accown", "natalias", "modbound", "tagflow", "protomc"} {
+	for _, want := range []string{"accown", "natalias", "modbound", "tagflow", "protomc", "costbound"} {
 		if !seen[want] {
 			t.Errorf("no %s finding in report; the lintme fixtures seed one", want)
 		}
@@ -160,6 +162,25 @@ func TestJSONGolden(t *testing.T) {
 		} else if f.World != "" || len(f.Trace) != 0 {
 			t.Errorf("%s finding carries model-checker fields: %+v", f.Analyzer, f)
 		}
+	}
+	// Cost-certification divergences must carry the formula pair and the
+	// witness world; no other analyzer may populate those fields. The
+	// "cannot certify" failure mode legitimately carries neither.
+	costDivergences := 0
+	for _, f := range report.Findings {
+		if f.Analyzer == "costbound" {
+			if f.Formula != "" || f.Witness != "" {
+				costDivergences++
+				if f.Formula == "" || f.Witness == "" {
+					t.Errorf("costbound divergence carries only half its evidence: %+v", f)
+				}
+			}
+		} else if f.Formula != "" || f.Witness != "" {
+			t.Errorf("%s finding carries cost-certification fields: %+v", f.Analyzer, f)
+		}
+	}
+	if costDivergences == 0 {
+		t.Error("no costbound divergence with formula and witness; collective/collective.go seeds one")
 	}
 	if len(report.Suppressed) == 0 {
 		t.Fatal("report has no suppressed entries; clean/clean.go seeds one")

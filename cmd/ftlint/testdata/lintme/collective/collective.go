@@ -1,6 +1,11 @@
-// Package collective seeds a protomc finding: a broadcast whose fan-out
-// loop drops the last rank, so worlds whose root is not last deadlock. The
-// -json report must carry the world and the counterexample interleaving.
+// Package collective seeds a protomc finding — a broadcast whose fan-out
+// loop drops the last rank, so worlds whose root is not last deadlock (the
+// -json report must carry the world and the counterexample interleaving) —
+// and two costbound findings: the same broadcast's linear fan-out falls
+// outside the interpreter's protocol model ("cannot certify", silence is
+// never an answer), while the reduce below derives fine but charges its
+// combine twice, so its cost polynomial diverges from Table 1 and the
+// -json report must carry the formula pair and the witness world.
 package collective
 
 type Ints []int64
@@ -12,6 +17,7 @@ type Proc struct{}
 func (p *Proc) ID() int                                 { return 0 }
 func (p *Proc) Send(to int, tag string, v Ints) error   { return nil }
 func (p *Proc) Recv(from int, tag string) (Ints, error) { return nil, nil }
+func (p *Proc) Work(n int64)                            {}
 
 func index(g Group, id int) int {
 	for i := 0; i < len(g); i++ {
@@ -36,4 +42,38 @@ func Broadcast(p *Proc, g Group, root int, tag string, v Ints) (Ints, error) {
 		return v, nil
 	}
 	return p.Recv(g[root], tag)
+}
+
+// Reduce element-wise sums every member's vector at the root over a
+// binomial tree, but charges the combine's word-work twice per merge, so
+// the derived F polynomial is 2·W·⌈log₂ g⌉ instead of W·⌈log₂ g⌉.
+func Reduce(p *Proc, g Group, root int, tag string, mine Ints) (Ints, error) {
+	n := len(g)
+	me := -1
+	for i, m := range g {
+		if m == p.ID() {
+			me = i
+		}
+	}
+	r := (me - root + n) % n
+	acc := mine
+	for mask := 1; mask < n; mask <<= 1 {
+		if r&mask != 0 {
+			dst := (r - mask + root) % n
+			return nil, p.Send(g[dst], tag, acc)
+		}
+		src := r + mask
+		if src < n {
+			got, err := p.Recv(g[(src+root)%n], tag)
+			if err != nil {
+				return nil, err
+			}
+			p.Work(int64(len(acc)))
+			p.Work(int64(len(acc))) // BUG: combine charged twice
+			for i := range got {
+				acc[i] += got[i]
+			}
+		}
+	}
+	return acc, nil
 }

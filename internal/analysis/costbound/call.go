@@ -1,0 +1,496 @@
+package costbound
+
+// call.go dispatches call expressions: type conversions and builtins are
+// evaluated directly; methods on the machine-boundary types (Proc, Machine,
+// Ints, Meta, Algorithm, Int) and a handful of shape-relevant package
+// functions follow explicit contracts (contracts.go); functions of the
+// protocol packages under analysis are interpreted from their ASTs through
+// the call graph; everything else degrades to a signature-shaped unknown.
+//
+// The contract layer keys methods on the receiver's *type name*, not its
+// package, so self-contained fixtures that declare miniature `Proc`/`Int`
+// stand-ins exercise the same charging rules as the real tree.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// interpretPkgs are the package (base) names whose functions must be
+// interpreted from source: the protocol tree whose costs are being derived.
+// A callee in one of these packages without a call-graph node means the
+// load set is incomplete — the derivation is skipped, not reported.
+var interpretPkgs = map[string]bool{
+	"collective": true,
+	"parallel":   true,
+	"ftparallel": true,
+}
+
+// contractRecvTypes are receiver type names whose methods are modeled by
+// contract rather than interpreted (the machine/arithmetic boundary).
+var contractRecvTypes = map[string]bool{
+	"Proc":      true,
+	"Machine":   true,
+	"Ints":      true,
+	"Meta":      true,
+	"Algorithm": true,
+	"Int":       true,
+}
+
+const maxCallDepth = 200
+
+func (d *deriver) evalCall(call *ast.CallExpr, sc *scope) val {
+	d.burn(call.Pos())
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversion: T(x) passes the abstract value through unchanged
+	// (conversions in the protocol sources only rename vector/int types).
+	if tv, ok := d.info().Types[fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			d.fail(call.Pos(), "costbound: malformed conversion")
+		}
+		return d.evalExpr(call.Args[0], sc)
+	}
+
+	// Builtin.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := d.info().Uses[id].(*types.Builtin); ok {
+			return d.evalBuiltin(b.Name(), call, sc)
+		}
+	}
+
+	// Declared function or method.
+	if fn := framework.CalleeFunc(d.info(), call); fn != nil {
+		var recvV *val
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				rv := d.evalExpr(sel.X, sc)
+				recvV = &rv
+			}
+		}
+		args := d.evalArgs(call, sc)
+		return d.dispatch(fn, recvV, args, call)
+	}
+
+	// Call through a func value (closure, method value, hook).
+	fv := d.evalExpr(fun, sc)
+	args := d.evalArgs(call, sc)
+	return d.callClosure(fv, args, call)
+}
+
+func (d *deriver) evalArgs(call *ast.CallExpr, sc *scope) []val {
+	args := make([]val, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = d.evalExpr(a, sc)
+	}
+	return args
+}
+
+// dispatch routes a resolved callee: contract first (lcm64-style opt-outs
+// included), then source interpretation for the protocol packages, then the
+// generic signature-shaped fallback.
+func (d *deriver) dispatch(fn *types.Func, recvV *val, args []val, call *ast.CallExpr) val {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		d.fail(call.Pos(), "costbound: callee without signature")
+	}
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name()
+	}
+	if sig.Recv() != nil {
+		recvType := framework.NamedTypeName(sig.Recv().Type())
+		if contractRecvTypes[recvType] {
+			if v, ok := d.methodContract(recvType, fn.Name(), recvV, args, call); ok {
+				return v
+			}
+		}
+		if n := d.sums.Graph.Nodes[framework.FuncKey(fn)]; n != nil && !opaquePkg(pkgName) {
+			return d.callNode(n, recvV, args, call)
+		}
+		if interpretPkgs[pkgName] {
+			panic(missingNode{key: framework.FuncKey(fn)})
+		}
+		return d.genericContract(sig, call.Pos())
+	}
+	if v, ok := d.funcContract(pkgName, fn.Name(), args, call); ok {
+		return v
+	}
+	if n := d.sums.Graph.Nodes[framework.FuncKey(fn)]; n != nil && !opaquePkg(pkgName) {
+		return d.callNode(n, recvV, args, call)
+	}
+	if interpretPkgs[pkgName] {
+		panic(missingNode{key: framework.FuncKey(fn)})
+	}
+	return d.genericContract(sig, call.Pos())
+}
+
+// opaquePkg lists repo packages deliberately modeled by contracts / generic
+// fallbacks even though their sources may be in the call graph: the machine
+// runtime and the sequential arithmetic kernels, whose internals are
+// exactly what the cost model abstracts away.
+func opaquePkg(name string) bool {
+	switch name {
+	case "machine", "costacct", "bigint", "toom", "points", "erasure",
+		"mat", "rat", "costmodel", "multistep", "toomgraph", "poly",
+		"softfault", "workpool", "crosscheck", "benchenv":
+		return true
+	}
+	return false
+}
+
+// callNode interprets a declared function's body in a fresh frame.
+func (d *deriver) callNode(n *framework.CGNode, recvV *val, args []val, call *ast.CallExpr) val {
+	if n.Decl == nil || n.Decl.Body == nil {
+		d.fail(call.Pos(), "costbound: callee %s has no body", n.Key)
+	}
+	d.depth++
+	if d.depth > maxCallDepth {
+		d.fail(call.Pos(), "costbound: call depth exceeded at %s", n.Key)
+	}
+	savedPkg, savedExits, savedNamed := d.pkg, d.exits, d.curNamed
+	d.pkg = n.Pkg
+	d.exits = nil
+	d.curNamed = nil
+	sc := newScope(nil)
+
+	if r := n.Decl.Recv; r != nil && len(r.List) > 0 && len(r.List[0].Names) > 0 {
+		name := r.List[0].Names[0]
+		if name.Name != "_" {
+			if obj := d.pkg.Info.Defs[name]; obj != nil {
+				rv := opaqueVal()
+				if recvV != nil {
+					rv = *recvV
+				}
+				sc.define(obj, rv)
+			}
+		}
+	}
+	d.bindParams(n.Decl.Type, sc, args, call)
+	f := d.evalStmts(n.Decl.Body.List, sc)
+	res := d.finishFrame(f, call)
+	d.pkg, d.exits, d.curNamed = savedPkg, savedExits, savedNamed
+	d.depth--
+	return res
+}
+
+// callClosure invokes a kFunc value: a declared function (possibly with a
+// bound receiver) or a function literal with its captured environment.
+func (d *deriver) callClosure(fv val, args []val, call *ast.CallExpr) val {
+	if fv.k != kFunc || fv.fn == nil {
+		d.fail(call.Pos(), "costbound: call through %s", fv.describe())
+	}
+	cl := fv.fn
+	if cl.node != nil {
+		return d.dispatch(cl.node.Fn, cl.recv, args, call)
+	}
+	if cl.lit == nil {
+		d.fail(call.Pos(), "costbound: call through unmodeled func value")
+	}
+	d.depth++
+	if d.depth > maxCallDepth {
+		d.fail(call.Pos(), "costbound: call depth exceeded in closure")
+	}
+	savedPkg, savedExits, savedNamed := d.pkg, d.exits, d.curNamed
+	d.pkg = cl.pkg
+	d.exits = nil
+	d.curNamed = nil
+	sc := newScope(cl.env)
+	d.bindParams(cl.lit.Type, sc, args, call)
+	f := d.evalStmts(cl.lit.Body.List, sc)
+	res := d.finishFrame(f, call)
+	d.pkg, d.exits, d.curNamed = savedPkg, savedExits, savedNamed
+	d.depth--
+	return res
+}
+
+// bindParams binds flattened parameters (variadic tail collected into a
+// slice unless the call site spreads with ...).
+func (d *deriver) bindParams(ft *ast.FuncType, sc *scope, args []val, call *ast.CallExpr) {
+	type pslot struct {
+		name     *ast.Ident
+		variadic bool
+	}
+	var slots []pslot
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			_, varArg := f.Type.(*ast.Ellipsis)
+			if len(f.Names) == 0 {
+				slots = append(slots, pslot{nil, varArg})
+				continue
+			}
+			for _, nm := range f.Names {
+				slots = append(slots, pslot{nm, varArg})
+			}
+		}
+	}
+	ai := 0
+	for _, s := range slots {
+		var v val
+		switch {
+		case s.variadic && call != nil && call.Ellipsis.IsValid():
+			if ai < len(args) {
+				v = args[ai]
+				ai = len(args)
+			} else {
+				v = nilVal()
+			}
+		case s.variadic:
+			rest := make([]val, 0, len(args)-ai)
+			for ; ai < len(args); ai++ {
+				rest = append(rest, args[ai])
+			}
+			v = sliceVal(rest)
+		case ai < len(args):
+			v = args[ai]
+			ai++
+		default:
+			if call != nil {
+				d.fail(call.Pos(), "costbound: argument arity mismatch")
+			}
+			v = opaqueVal()
+		}
+		if s.name == nil || s.name.Name == "_" {
+			continue
+		}
+		if obj := d.pkg.Info.Defs[s.name]; obj != nil {
+			sc.define(obj, v)
+		}
+	}
+	// Named results start at their zero values.
+	if ft.Results != nil {
+		for _, f := range ft.Results.List {
+			for _, nm := range f.Names {
+				if nm.Name == "_" {
+					continue
+				}
+				if obj := d.pkg.Info.Defs[nm]; obj != nil {
+					c := sc.define(obj, zeroVal(obj.Type()))
+					d.curNamed = append(d.curNamed, c)
+				}
+			}
+		}
+	}
+}
+
+// finishFrame closes the current call frame: the frame's cost becomes the
+// component-wise maximum over its return paths (critical-path semantics),
+// and its value the join of the returned tuples.
+func (d *deriver) finishFrame(f flow, call *ast.CallExpr) val {
+	if f != flowRet {
+		var vals []val
+		for _, c := range d.curNamed {
+			vals = append(vals, c.v)
+		}
+		d.exits = append(d.exits, exitRec{cost: d.cost, vals: vals})
+	}
+	cost := d.exits[0].cost
+	vals := append([]val(nil), d.exits[0].vals...)
+	for _, e := range d.exits[1:] {
+		cost = cost.maxWith(e.cost)
+		if len(e.vals) != len(vals) {
+			d.fail(call.Pos(), "costbound: inconsistent return arity")
+		}
+		for i := range vals {
+			vals[i] = joinVal(vals[i], e.vals[i])
+		}
+	}
+	d.cost = cost
+	switch len(vals) {
+	case 0:
+		return val{}
+	case 1:
+		return vals[0]
+	}
+	return tupleVal(vals...)
+}
+
+// ---------------------------------------------------------------------------
+// Builtins.
+
+func (d *deriver) evalBuiltin(name string, call *ast.CallExpr, sc *scope) val {
+	switch name {
+	case "len", "cap":
+		v := d.evalExpr(call.Args[0], sc)
+		switch v.k {
+		case kVec:
+			if v.numOK {
+				return numVal(v.w)
+			}
+			return unknownNum()
+		case kSlice:
+			return intVal(int64(len(v.elems)))
+		case kMap:
+			return intVal(int64(len(v.m)))
+		case kStr:
+			if v.sOK {
+				return intVal(int64(len(v.s)))
+			}
+			return unknownNum()
+		case kGroupSym:
+			return numVal(v.n)
+		case kNil:
+			return intVal(0)
+		case kOpaque, kMaybeNil:
+			return unknownNum()
+		}
+		d.fail(call.Pos(), "costbound: len of %s", v.describe())
+	case "append":
+		return d.evalAppend(call, sc)
+	case "copy":
+		d.evalExpr(call.Args[0], sc)
+		d.evalExpr(call.Args[1], sc)
+		return unknownNum()
+	case "make":
+		return d.evalMake(call, sc)
+	case "delete":
+		m := d.evalExpr(call.Args[0], sc)
+		key := d.evalExpr(call.Args[1], sc)
+		if m.k == kMap {
+			if ks, ok := renderKey(key); ok {
+				delete(m.m, ks)
+				delete(m.mk, ks)
+				return val{}
+			}
+			d.fail(call.Pos(), "costbound: delete with non-concrete key")
+		}
+		return val{}
+	case "min", "max":
+		out := d.evalExpr(call.Args[0], sc)
+		for _, a := range call.Args[1:] {
+			v := d.evalExpr(a, sc)
+			oc, ok1 := out.constInt()
+			vc, ok2 := v.constInt()
+			if !ok1 || !ok2 {
+				out = unknownNum()
+				continue
+			}
+			if (name == "min") == (vc < oc) {
+				out = intVal(vc)
+			}
+		}
+		return out
+	case "new":
+		if tv, ok := d.info().Types[call.Args[0]]; ok {
+			return zeroVal(tv.Type)
+		}
+		return opaqueVal()
+	case "panic":
+		d.fail(call.Pos(), "costbound: panic site reached")
+	case "print", "println":
+		for _, a := range call.Args {
+			d.evalExpr(a, sc)
+		}
+		return val{}
+	}
+	d.fail(call.Pos(), "costbound: unmodeled builtin %s", name)
+	return val{}
+}
+
+func (d *deriver) evalMake(call *ast.CallExpr, sc *scope) val {
+	tv, ok := d.info().Types[call.Args[0]]
+	if !ok {
+		d.fail(call.Pos(), "costbound: untyped make")
+	}
+	t := tv.Type
+	n := intVal(0)
+	if len(call.Args) >= 2 {
+		n = d.evalExpr(call.Args[1], sc)
+	}
+	if len(call.Args) >= 3 {
+		d.evalExpr(call.Args[2], sc) // capacity: evaluated, ignored
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if isIntVecType(t) {
+			if n.k == kNum && n.numOK {
+				return vecVal(n.num)
+			}
+			return unknownVec()
+		}
+		c, ok := n.constInt()
+		if !ok {
+			d.fail(call.Pos(), "costbound: make with non-concrete length")
+		}
+		elems := make([]val, c)
+		for i := range elems {
+			elems[i] = zeroVal(u.Elem())
+		}
+		return sliceVal(elems)
+	case *types.Map:
+		return val{k: kMap, m: map[string]val{}, mk: map[string]val{}}
+	}
+	d.fail(call.Pos(), "costbound: unmodeled make of %s", t)
+	return val{}
+}
+
+func (d *deriver) evalAppend(call *ast.CallExpr, sc *scope) val {
+	base := d.evalExpr(call.Args[0], sc)
+	var resType types.Type
+	if tv, ok := d.info().Types[call]; ok {
+		resType = tv.Type
+	}
+	spread := call.Ellipsis.IsValid()
+	var args []val
+	for _, a := range call.Args[1:] {
+		args = append(args, d.evalExpr(a, sc))
+	}
+
+	asVec := base.k == kVec || (base.k == kNil && resType != nil && isIntVecType(resType))
+	if asVec {
+		w := framework.SymConst(0)
+		known := true
+		if base.k == kVec {
+			w, known = base.w, base.numOK
+		}
+		if spread {
+			s := args[len(args)-1]
+			switch s.k {
+			case kVec:
+				if !s.numOK {
+					known = false
+				} else {
+					w = w.Add(s.w)
+				}
+			case kNil:
+			case kSlice:
+				w = w.Add(framework.SymConst(int64(len(s.elems))))
+			default:
+				known = false
+			}
+		} else {
+			w = w.Add(framework.SymConst(int64(len(args))))
+		}
+		if !known {
+			return unknownVec()
+		}
+		return vecVal(w)
+	}
+
+	switch base.k {
+	case kSlice, kNil:
+		elems := append([]val(nil), base.elems...)
+		if spread {
+			s := args[len(args)-1]
+			switch s.k {
+			case kSlice:
+				elems = append(elems, s.elems...)
+			case kNil:
+			default:
+				d.fail(call.Pos(), "costbound: append spread of %s", s.describe())
+			}
+		} else {
+			elems = append(elems, args...)
+		}
+		return sliceVal(elems)
+	case kOpaque:
+		return opaqueVal()
+	}
+	d.fail(call.Pos(), "costbound: append to %s", base.describe())
+	return val{}
+}
+
+var _ = token.ILLEGAL

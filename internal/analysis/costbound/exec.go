@@ -1,0 +1,1385 @@
+package costbound
+
+// exec.go executes Go statements and expressions over the abstract value
+// domain of value.go, accumulating charges into the deriver's cost state.
+// Control flow is exact where conditions decide and joins component-wise
+// (cost: max; values: joinVal) where they don't. See interp.go for the
+// mode rules.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// trail records first-writes to cells so branch arms and widening passes
+// can be rolled back. Writes under nested trails record into every open
+// trail that has not yet seen the cell.
+type trail struct {
+	saved map[*cell]val
+	order []*cell
+}
+
+func (d *deriver) pushTrail() *trail {
+	t := &trail{saved: map[*cell]val{}}
+	d.trails = append(d.trails, t)
+	return t
+}
+
+// popTrail removes the top trail. If restore is set, every recorded cell is
+// rolled back to its pre-trail value; the map of branch-final values is
+// returned either way.
+func (d *deriver) popTrail(restore bool) map[*cell]val {
+	t := d.trails[len(d.trails)-1]
+	d.trails = d.trails[:len(d.trails)-1]
+	finals := map[*cell]val{}
+	for _, c := range t.order {
+		finals[c] = c.v
+		if restore {
+			c.v = t.saved[c]
+		}
+	}
+	return finals
+}
+
+func (d *deriver) setCell(c *cell, v val) {
+	for _, t := range d.trails {
+		if _, seen := t.saved[c]; !seen {
+			t.saved[c] = c.v
+			t.order = append(t.order, c)
+		}
+	}
+	c.v = v
+}
+
+func (d *deriver) info() *types.Info { return d.pkg.Info }
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+func (d *deriver) evalStmts(list []ast.Stmt, sc *scope) flow {
+	for _, s := range list {
+		if f := d.evalStmt(s, sc); f != flowNorm {
+			return f
+		}
+	}
+	return flowNorm
+}
+
+func (d *deriver) evalStmt(s ast.Stmt, sc *scope) flow {
+	d.burn(s.Pos())
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return d.evalStmts(st.List, newScope(sc))
+	case *ast.ExprStmt:
+		d.evalExpr(st.X, sc)
+		return flowNorm
+	case *ast.AssignStmt:
+		d.evalAssign(st, sc)
+		return flowNorm
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			d.fail(s.Pos(), "costbound: unmodeled declaration")
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				obj := d.info().Defs[name]
+				var v val
+				switch {
+				case i < len(vs.Values):
+					v = d.evalExpr(vs.Values[i], sc)
+				case obj != nil:
+					v = zeroVal(obj.Type())
+				default:
+					v = opaqueVal()
+				}
+				if obj != nil {
+					sc.define(obj, v)
+				}
+			}
+		}
+		return flowNorm
+	case *ast.IncDecStmt:
+		cur := d.evalExpr(st.X, sc)
+		one := intVal(1)
+		var next val
+		if st.Tok == token.INC {
+			next = d.numBinop(token.ADD, cur, one, st.Pos())
+		} else {
+			next = d.numBinop(token.SUB, cur, one, st.Pos())
+		}
+		d.assignTo(st.X, next, sc)
+		return flowNorm
+	case *ast.IfStmt:
+		sc2 := newScope(sc)
+		if st.Init != nil {
+			d.evalStmt(st.Init, sc2)
+		}
+		switch d.evalCond(st.Cond, sc2) {
+		case triTrue:
+			return d.evalStmts(st.Body.List, newScope(sc2))
+		case triFalse:
+			if st.Else != nil {
+				return d.evalStmt(st.Else, sc2)
+			}
+			return flowNorm
+		default:
+			thenF := func(s2 *scope) flow { return d.evalStmts(st.Body.List, newScope(s2)) }
+			elseF := func(s2 *scope) flow { return flowNorm }
+			if st.Else != nil {
+				elseF = func(s2 *scope) flow { return d.evalStmt(st.Else, s2) }
+			}
+			return d.joinArms(sc2, thenF, elseF)
+		}
+	case *ast.ForStmt:
+		return d.evalFor(st, sc)
+	case *ast.RangeStmt:
+		return d.evalRange(st, sc)
+	case *ast.ReturnStmt:
+		d.evalReturn(st, sc)
+		return flowRet
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if st.Label != nil {
+				d.fail(s.Pos(), "costbound: labeled break unmodeled")
+			}
+			// break targets the innermost for OR switch; only a loop frame
+			// records the exit cost (a switch frame just absorbs the flow).
+			if n := len(d.loops); n > 0 && !d.loops[n-1].sw {
+				d.loops[n-1].brks = append(d.loops[n-1].brks, d.cost)
+			}
+			return flowBrk
+		case token.CONTINUE:
+			if st.Label != nil {
+				d.fail(s.Pos(), "costbound: labeled continue unmodeled")
+			}
+			return flowCont
+		}
+		d.fail(s.Pos(), "costbound: unmodeled branch statement %v", st.Tok)
+	case *ast.SwitchStmt:
+		return d.evalSwitch(st, sc)
+	case *ast.DeferStmt:
+		// Charges are additive, so running a deferred call at its defer
+		// site instead of at function exit changes no counter totals.
+		d.evalCall(st.Call, sc)
+		return flowNorm
+	case *ast.EmptyStmt:
+		return flowNorm
+	}
+	d.fail(s.Pos(), "costbound: unmodeled statement %T", s)
+	return flowNorm
+}
+
+// joinArms evaluates both arms of an undecided branch on a shared scope
+// with trail-based rollback, joins written values, and takes the
+// component-wise cost maximum. An arm that exits (return/break/continue)
+// contributes its cost at the exit site (already recorded there); the
+// surviving arm's environment wins unjoined.
+func (d *deriver) joinArms(sc *scope, thenF, elseF func(*scope) flow) flow {
+	d.joinDepth++
+	defer func() { d.joinDepth-- }()
+
+	pre := d.cost
+	d.pushTrail()
+	f1 := thenF(sc)
+	thenCost := d.cost
+	thenVals := d.popTrail(true)
+
+	d.cost = pre
+	d.pushTrail()
+	f2 := elseF(sc)
+	elseCost := d.cost
+	elseOlds := map[*cell]val{}
+	t2 := d.trails[len(d.trails)-1]
+	for c, old := range t2.saved {
+		elseOlds[c] = old
+	}
+	elseVals := d.popTrail(false) // keep else values for now
+
+	// An exiting arm's cost is already recorded at its exit site (return →
+	// exitRec, break → loopCtx.brks); the continuation carries only the
+	// surviving arm's cost. Folding the exiting arm's cost in here would
+	// charge its sends to every later iteration of an enclosing loop.
+	thenExits := f1 == flowRet || f1 == flowBrk
+	elseExits := f2 == flowRet || f2 == flowBrk
+	switch {
+	case thenExits && !elseExits:
+		d.cost = elseCost
+	case elseExits && !thenExits:
+		d.cost = thenCost
+	default:
+		d.cost = thenCost.maxWith(elseCost)
+	}
+
+	switch {
+	case thenExits && !elseExits:
+		// keep else environment (already in place)
+	case elseExits && !thenExits:
+		// restore then environment
+		for c, old := range elseOlds {
+			c.v = old
+		}
+		for c, v := range thenVals {
+			c.v = v
+		}
+	case !thenExits && !elseExits:
+		touched := map[*cell]bool{}
+		for c := range thenVals {
+			touched[c] = true
+		}
+		for c := range elseVals {
+			touched[c] = true
+		}
+		for c := range touched {
+			tv, ok := thenVals[c]
+			if !ok {
+				if old, had := elseOlds[c]; had {
+					tv = old // then arm left it at the pre-branch value
+				} else {
+					tv = c.v
+				}
+			}
+			d.setCellNoTrail(c, joinVal(tv, c.v))
+		}
+	}
+
+	switch {
+	case f1 == f2:
+		return f1
+	case f1 == flowNorm || f2 == flowNorm, f1 == flowCont || f2 == flowCont:
+		return flowNorm
+	case f1 == flowBrk || f2 == flowBrk:
+		return flowBrk
+	}
+	return flowRet
+}
+
+// setCellNoTrail writes through to enclosing trails (used while finishing a
+// join: outer trails must still see the merge as a write).
+func (d *deriver) setCellNoTrail(c *cell, v val) { d.setCell(c, v) }
+
+func (d *deriver) evalReturn(st *ast.ReturnStmt, sc *scope) {
+	var vals []val
+	switch {
+	case len(st.Results) == 0:
+		for _, c := range d.curNamed {
+			vals = append(vals, c.v)
+		}
+	case len(st.Results) == 1:
+		v := d.evalExpr(st.Results[0], sc)
+		if v.k == kTuple {
+			vals = v.elems
+		} else {
+			vals = []val{v}
+		}
+	default:
+		for _, r := range st.Results {
+			vals = append(vals, d.evalExpr(r, sc))
+		}
+	}
+	d.exits = append(d.exits, exitRec{cost: d.cost, vals: vals})
+}
+
+func (d *deriver) evalSwitch(st *ast.SwitchStmt, sc *scope) flow {
+	sc2 := newScope(sc)
+	if st.Init != nil {
+		d.evalStmt(st.Init, sc2)
+	}
+	var tag val
+	hasTag := st.Tag != nil
+	if hasTag {
+		tag = d.evalExpr(st.Tag, sc2)
+	}
+	var defaultClause *ast.CaseClause
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			var t tri
+			if hasTag {
+				t = d.compareVals(token.EQL, tag, d.evalExpr(e, sc2), e.Pos())
+			} else {
+				t = d.evalCond(e, sc2)
+			}
+			switch t {
+			case triTrue:
+				return d.evalCaseBody(cc.Body, sc2)
+			case triUnknown:
+				d.fail(e.Pos(), "costbound: undecidable switch case")
+			}
+		}
+	}
+	if defaultClause != nil {
+		return d.evalCaseBody(defaultClause.Body, sc2)
+	}
+	return flowNorm
+}
+
+// evalCaseBody runs a selected case body under a switch frame so that a
+// bare break exits the switch (flowNorm), not an enclosing loop.
+func (d *deriver) evalCaseBody(body []ast.Stmt, sc2 *scope) flow {
+	d.loops = append(d.loops, &loopCtx{sw: true})
+	f := d.evalStmts(body, newScope(sc2))
+	d.loops = d.loops[:len(d.loops)-1]
+	if f == flowBrk {
+		return flowNorm
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Loops.
+
+func (d *deriver) evalFor(st *ast.ForStmt, sc *scope) flow {
+	sc2 := newScope(sc)
+	if st.Init != nil {
+		d.evalStmt(st.Init, sc2)
+	}
+	// Try direct iteration first: whenever the condition decides at every
+	// step (all concrete-mode loops, and constant-bounded symbolic ones),
+	// run the loop for real.
+	if st.Cond == nil {
+		d.fail(st.Pos(), "costbound: unbounded for loop")
+	}
+	if c := d.evalCond(st.Cond, sc2); c != triUnknown {
+		return d.iterateFor(st, sc2, c)
+	}
+	// Symbolic trip-count patterns.
+	trip, ok := d.loopTrip(st, sc2)
+	if !ok {
+		d.fail(st.Pos(), "costbound: loop trip count not derivable")
+	}
+	return d.symbolicLoop(st.Body.List, sc2, trip, st.Pos(), nil)
+}
+
+// iterateFor executes a for loop whose condition decides concretely.
+func (d *deriver) iterateFor(st *ast.ForStmt, sc2 *scope, first tri) flow {
+	lc := &loopCtx{}
+	d.loops = append(d.loops, lc)
+	defer func() { d.loops = d.loops[:len(d.loops)-1] }()
+	cond := first
+	for iter := 0; ; iter++ {
+		d.burn(st.Pos())
+		if iter > 1<<21 {
+			d.fail(st.Pos(), "costbound: loop iteration bound exceeded")
+		}
+		if cond == triUnknown {
+			d.fail(st.Cond.Pos(), "costbound: loop condition became undecidable")
+		}
+		if cond == triFalse {
+			break
+		}
+		f := d.evalStmts(st.Body.List, newScope(sc2))
+		if f == flowRet {
+			return flowRet
+		}
+		if f == flowBrk {
+			break
+		}
+		if st.Post != nil {
+			d.evalStmt(st.Post, sc2)
+		}
+		cond = d.evalCond(st.Cond, sc2)
+	}
+	for _, b := range lc.brks {
+		d.cost = d.cost.maxWith(b)
+	}
+	return flowNorm
+}
+
+// loopTrip recognizes the two symbolic loop shapes of the protocol sources:
+//
+//	for x := c; x < N; x <<= 1  → ⌈log₂ N⌉ trips (doubling; x starts ≥ 1)
+//	for x := c; x < N; x++      → N − c trips
+func (d *deriver) loopTrip(st *ast.ForStmt, sc *scope) (framework.SymExpr, bool) {
+	cond, ok := st.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return framework.SymExpr{}, false
+	}
+	condVar, ok := cond.X.(*ast.Ident)
+	if !ok {
+		return framework.SymExpr{}, false
+	}
+	bound := d.evalExpr(cond.Y, sc)
+	if bound.k != kNum || !bound.numOK {
+		return framework.SymExpr{}, false
+	}
+	switch post := st.Post.(type) {
+	case *ast.AssignStmt:
+		if post.Tok == token.SHL_ASSIGN && len(post.Lhs) == 1 {
+			if id, ok := post.Lhs[0].(*ast.Ident); ok && id.Name == condVar.Name {
+				return framework.SymLog2Ceil(bound.num), true
+			}
+		}
+	case *ast.IncDecStmt:
+		if post.Tok == token.INC {
+			if id, ok := post.X.(*ast.Ident); ok && id.Name == condVar.Name {
+				init := framework.SymConst(0)
+				if c := sc.findIdent(d.info(), condVar); c != nil {
+					if c.v.k == kNum && c.v.numOK {
+						init = c.v.num
+					} else {
+						return framework.SymExpr{}, false
+					}
+				}
+				return bound.num.Sub(init), true
+			}
+		}
+	}
+	return framework.SymExpr{}, false
+}
+
+func (s *scope) findIdent(info *types.Info, id *ast.Ident) *cell {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	return s.find(obj)
+}
+
+// symbolicLoop charges trip × per-iteration cost. Pass 1 widens the
+// environment (accumulators with a stable additive delta get their closed
+// form x₀ + delta·trip; anything else written becomes unknown); pass 2
+// measures the per-iteration cost on the widened environment. A path that
+// exits the loop contributes trip × (non-exiting cost) + its own one-shot
+// cost — sound and component-wise tight for send-and-retire protocols.
+// perIterExtra, when non-nil, runs inside each measured pass (used by
+// range loops to bind the iteration variables).
+func (d *deriver) symbolicLoop(body []ast.Stmt, sc *scope, trip framework.SymExpr, pos token.Pos, perIter func(*scope)) flow {
+	pre := d.cost
+	exitMark := len(d.exits)
+
+	// Pass 1: widening. Breaks recorded during this speculative pass must
+	// not leak into an enclosing loop's break set — push a throwaway ctx.
+	d.loops = append(d.loops, &loopCtx{})
+	d.pushTrail()
+	sc1 := newScope(sc)
+	if perIter != nil {
+		perIter(sc1)
+	}
+	d.evalStmts(body, sc1)
+	finals := d.popTrail(true)
+	d.loops = d.loops[:len(d.loops)-1]
+	d.exits = d.exits[:exitMark]
+	d.cost = pre
+	for c, after := range finals {
+		before := c.v
+		if before.k == kNum && before.numOK && after.k == kNum && after.numOK {
+			delta := after.num.Sub(before.num)
+			// Additive accumulator: publish its post-loop closed form.
+			c.v = numVal(before.num.Add(delta.Mul(trip)))
+			continue
+		}
+		if before.k == after.k {
+			j := joinVal(before, after)
+			// Stable across the iteration: keep; otherwise degrade.
+			if before.k == kVec && before.numOK && after.numOK && before.w.Equal(after.w) {
+				c.v = before
+				continue
+			}
+			c.v = degrade(j)
+			continue
+		}
+		c.v = joinVal(before, after) // cross-kind: maybe-nil or opaque
+	}
+
+	// Pass 2: measure on the widened environment — and restore it after, so
+	// the measurement pass's own writes don't shift the published closed
+	// forms (an accumulator would otherwise read x₀ + delta·trip + delta).
+	lc := &loopCtx{}
+	d.loops = append(d.loops, lc)
+	d.pushTrail()
+	sc2 := newScope(sc)
+	if perIter != nil {
+		perIter(sc2)
+	}
+	f := d.evalStmts(body, sc2)
+	d.popTrail(true)
+	d.loops = d.loops[:len(d.loops)-1]
+	iter := d.cost.sub(pre)
+	total := iter.scale(trip)
+	d.cost = pre.add(total)
+	for i := exitMark; i < len(d.exits); i++ {
+		d.exits[i].cost = d.exits[i].cost.add(total)
+	}
+	for _, b := range lc.brks {
+		d.cost = d.cost.maxWith(b.add(total))
+	}
+	if f == flowRet {
+		// Every path through the body returns: the loop body runs at most
+		// once to its return; the exits above carry the bound.
+		return flowRet
+	}
+	return flowNorm
+}
+
+// degrade maps a joined value to its widened (unknown) form.
+func degrade(v val) val {
+	switch v.k {
+	case kNum:
+		return unknownNum()
+	case kBool:
+		return unknownBool()
+	case kStr:
+		return val{k: kStr}
+	case kVec:
+		return unknownVec()
+	case kBig:
+		return val{k: kBig}
+	}
+	return opaqueVal()
+}
+
+func (d *deriver) evalRange(st *ast.RangeStmt, sc *scope) flow {
+	x := d.evalExpr(st.X, sc)
+	sc2 := newScope(sc)
+
+	bind := func(scIter *scope, key, value val) {
+		if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+			d.bindRangeVar(scIter, id, key, st.Tok)
+		}
+		if st.Value != nil {
+			if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+				d.bindRangeVar(scIter, id, value, st.Tok)
+			}
+		}
+	}
+
+	runIters := func(items []struct{ k, v val }) flow {
+		lc := &loopCtx{}
+		d.loops = append(d.loops, lc)
+		defer func() { d.loops = d.loops[:len(d.loops)-1] }()
+		for _, it := range items {
+			d.burn(st.Pos())
+			scIter := newScope(sc2)
+			bind(scIter, it.k, it.v)
+			f := d.evalStmts(st.Body.List, scIter)
+			if f == flowRet {
+				return flowRet
+			}
+			if f == flowBrk {
+				break
+			}
+		}
+		for _, b := range lc.brks {
+			d.cost = d.cost.maxWith(b)
+		}
+		return flowNorm
+	}
+
+	switch x.k {
+	case kSlice:
+		items := make([]struct{ k, v val }, len(x.elems))
+		for i, e := range x.elems {
+			items[i] = struct{ k, v val }{intVal(int64(i)), e}
+		}
+		return runIters(items)
+	case kMap:
+		keys := make([]string, 0, len(x.m))
+		for k := range x.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		items := make([]struct{ k, v val }, 0, len(keys))
+		for _, k := range keys {
+			kv := x.mk[k]
+			items = append(items, struct{ k, v val }{kv, x.m[k]})
+		}
+		return runIters(items)
+	case kVec:
+		if !x.numOK {
+			d.fail(st.Pos(), "costbound: range over vector of unknown length")
+		}
+		if c, ok := x.w.IsConst(); ok {
+			items := make([]struct{ k, v val }, c)
+			for i := int64(0); i < c; i++ {
+				items[i] = struct{ k, v val }{intVal(i), unitBig()}
+			}
+			return runIters(items)
+		}
+		return d.symbolicLoop(st.Body.List, sc2, x.w, st.Pos(), func(scIter *scope) {
+			bind(scIter, unknownNum(), unitBig())
+		})
+	case kNum:
+		if c, ok := x.constInt(); ok {
+			items := make([]struct{ k, v val }, c)
+			for i := int64(0); i < c; i++ {
+				items[i] = struct{ k, v val }{intVal(i), val{}}
+			}
+			return runIters(items)
+		}
+		if x.numOK {
+			return d.symbolicLoop(st.Body.List, sc2, x.num, st.Pos(), func(scIter *scope) {
+				bind(scIter, unknownNum(), val{})
+			})
+		}
+	case kGroupSym:
+		return d.symbolicLoop(st.Body.List, sc2, x.n, st.Pos(), func(scIter *scope) {
+			bind(scIter, unknownNum(), unknownNum())
+		})
+	case kNil:
+		// Ranging over a nil slice or map: zero iterations.
+		return flowNorm
+	}
+	d.fail(st.Pos(), "costbound: unmodeled range over %s", x.describe())
+	return flowNorm
+}
+
+func (d *deriver) bindRangeVar(sc *scope, id *ast.Ident, v val, tok token.Token) {
+	obj := d.info().Defs[id]
+	if obj == nil {
+		obj = d.info().Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if tok == token.DEFINE {
+		sc.define(obj, v)
+		return
+	}
+	if c := sc.find(obj); c != nil {
+		d.setCell(c, v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Assignment.
+
+func (d *deriver) evalAssign(st *ast.AssignStmt, sc *scope) {
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		rhs := d.evalExpr(st.Rhs[0], sc)
+		var parts []val
+		if rhs.k == kTuple {
+			parts = rhs.elems
+		} else {
+			// Comma-ok forms: map index, type assertion.
+			parts = []val{rhs, unknownBool()}
+			if ix, ok := st.Rhs[0].(*ast.IndexExpr); ok {
+				base := d.evalExpr(ix.X, sc)
+				if base.k == kMap {
+					if key, kok := renderKey(d.evalExpr(ix.Index, sc)); kok {
+						_, present := base.m[key]
+						parts[1] = boolVal(present)
+					}
+				}
+			}
+		}
+		for len(parts) < len(st.Lhs) {
+			parts = append(parts, opaqueVal())
+		}
+		for i, lhs := range st.Lhs {
+			d.assignLHS(st.Tok, lhs, parts[i], sc)
+		}
+		return
+	}
+	if len(st.Lhs) != len(st.Rhs) {
+		d.fail(st.Pos(), "costbound: unmodeled assignment arity")
+	}
+	vals := make([]val, len(st.Rhs))
+	for i, r := range st.Rhs {
+		vals[i] = d.evalExpr(r, sc)
+	}
+	for i, lhs := range st.Lhs {
+		v := vals[i]
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			op := assignOp(st.Tok)
+			cur := d.evalExpr(lhs, sc)
+			v = d.binop(op, cur, v, st.Pos())
+		}
+		d.assignLHS(st.Tok, lhs, v, sc)
+	}
+}
+
+func assignOp(t token.Token) token.Token {
+	switch t {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	}
+	return token.ILLEGAL
+}
+
+func (d *deriver) assignLHS(tok token.Token, lhs ast.Expr, v val, sc *scope) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if tok == token.DEFINE {
+			if obj := d.info().Defs[id]; obj != nil {
+				sc.define(obj, v)
+				return
+			}
+			// := with a pre-declared variable on the left.
+		}
+	}
+	d.assignTo(lhs, v, sc)
+}
+
+func (d *deriver) assignTo(lhs ast.Expr, v val, sc *scope) {
+	switch t := lhs.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		if c := sc.findIdent(d.info(), t); c != nil {
+			d.setCell(c, v)
+			return
+		}
+		d.fail(t.Pos(), "costbound: assignment to unbound %s", t.Name)
+	case *ast.SelectorExpr:
+		base := d.evalExpr(t.X, sc)
+		if base.k == kStruct {
+			base.st.fields[t.Sel.Name] = v
+			return
+		}
+		if base.k == kOpaque {
+			return
+		}
+		d.fail(t.Pos(), "costbound: field write on %s", base.describe())
+	case *ast.IndexExpr:
+		base := d.evalExpr(t.X, sc)
+		idx := d.evalExpr(t.Index, sc)
+		switch base.k {
+		case kVec:
+			return // unit-word entries: writes don't change the measure
+		case kSlice:
+			i, ok := idx.constInt()
+			if !ok || i < 0 || int(i) >= len(base.elems) {
+				d.fail(t.Pos(), "costbound: slice write at non-concrete index")
+			}
+			base.elems[i] = v
+			return
+		case kMap:
+			key, ok := renderKey(idx)
+			if !ok {
+				d.fail(t.Pos(), "costbound: map write with non-concrete key")
+			}
+			base.m[key] = v
+			base.mk[key] = idx
+			return
+		case kOpaque:
+			return
+		}
+		d.fail(t.Pos(), "costbound: index write on %s", base.describe())
+	case *ast.StarExpr:
+		d.assignTo(t.X, v, sc)
+	case *ast.ParenExpr:
+		d.assignTo(t.X, v, sc)
+	default:
+		d.fail(lhs.Pos(), "costbound: unmodeled assignment target %T", lhs)
+	}
+}
+
+func renderKey(v val) (string, bool) {
+	switch v.k {
+	case kNum:
+		if c, ok := v.constInt(); ok {
+			return fmt.Sprintf("i:%d", c), true
+		}
+	case kStr:
+		if v.sOK {
+			return "s:" + v.s, true
+		}
+	case kProc:
+		if v.rank >= 0 {
+			return fmt.Sprintf("p:%d", v.rank), true
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Conditions.
+
+func (d *deriver) evalCond(e ast.Expr, sc *scope) tri {
+	d.burn(e.Pos())
+	if tv, ok := d.constValue(e); ok {
+		if tv.k == kBool && tv.bOK {
+			return knownTri(tv.b)
+		}
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return d.evalCond(x.X, sc)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			switch d.evalCond(x.X, sc) {
+			case triTrue:
+				return triFalse
+			case triFalse:
+				return triTrue
+			}
+			return triUnknown
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			switch d.evalCond(x.X, sc) {
+			case triFalse:
+				return triFalse
+			case triTrue:
+				return d.evalCond(x.Y, sc)
+			default:
+				if d.evalCond(x.Y, sc) == triFalse {
+					return triFalse
+				}
+				return triUnknown
+			}
+		case token.LOR:
+			switch d.evalCond(x.X, sc) {
+			case triTrue:
+				return triTrue
+			case triFalse:
+				return d.evalCond(x.Y, sc)
+			default:
+				if d.evalCond(x.Y, sc) == triTrue {
+					return triTrue
+				}
+				return triUnknown
+			}
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			// Length-contract refinement: deciding a validation check on a
+			// vector of not-yet-known length binds the length the code
+			// itself asserts (the SPMD message-size contract).
+			if t, ok := d.lenRefine(x, sc); ok {
+				return t
+			}
+			return d.compareVals(x.Op, d.evalExpr(x.X, sc), d.evalExpr(x.Y, sc), x.Pos())
+		}
+	}
+	v := d.evalExpr(e, sc)
+	if v.k == kBool && v.bOK {
+		return knownTri(v.b)
+	}
+	return triUnknown
+}
+
+// lenRefine handles `len(v) != N` / `len(v) == N` when v is a received
+// vector whose length the send log has not yet supplied: the code's own
+// validation constant becomes the binding (and the check decides so the
+// error path is dead), matching the protocol's length contract.
+func (d *deriver) lenRefine(x *ast.BinaryExpr, sc *scope) (tri, bool) {
+	if x.Op != token.EQL && x.Op != token.NEQ {
+		return triUnknown, false
+	}
+	try := func(lenSide, other ast.Expr) (tri, bool) {
+		call, ok := lenSide.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return triUnknown, false
+		}
+		fid, ok := call.Fun.(*ast.Ident)
+		if !ok || fid.Name != "len" {
+			return triUnknown, false
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return triUnknown, false
+		}
+		c := sc.findIdent(d.info(), id)
+		if c == nil || c.v.k != kVec || c.v.numOK {
+			return triUnknown, false
+		}
+		want := d.evalExpr(other, sc)
+		if want.k != kNum || !want.numOK {
+			return triUnknown, false
+		}
+		d.setCell(c, vecVal(want.num))
+		if x.Op == token.EQL {
+			return triTrue, true
+		}
+		return triFalse, true
+	}
+	if t, ok := try(x.X, x.Y); ok {
+		return t, true
+	}
+	return try(x.Y, x.X)
+}
+
+func (d *deriver) compareVals(op token.Token, a, b val, pos token.Pos) tri {
+	if a.k == kNum && b.k == kNum {
+		return cmpNums(op, a, b)
+	}
+	if a.k == kNil || b.k == kNil {
+		other := a
+		if a.k == kNil {
+			other = b
+		}
+		n := nilness(other)
+		if n == triUnknown {
+			return triUnknown
+		}
+		eq := n == triTrue
+		if op == token.EQL {
+			return knownTri(eq)
+		}
+		return knownTri(!eq)
+	}
+	if a.k == kStr && b.k == kStr && a.sOK && b.sOK {
+		switch op {
+		case token.EQL:
+			return knownTri(a.s == b.s)
+		case token.NEQ:
+			return knownTri(a.s != b.s)
+		case token.LSS:
+			return knownTri(a.s < b.s)
+		}
+	}
+	if a.k == kBool && b.k == kBool && a.bOK && b.bOK {
+		if op == token.EQL {
+			return knownTri(a.b == b.b)
+		}
+		return knownTri(a.b != b.b)
+	}
+	if a.k == kProc && b.k == kProc {
+		if a.rank >= 0 && b.rank >= 0 {
+			if op == token.EQL {
+				return knownTri(a.rank == b.rank)
+			}
+			return knownTri(a.rank != b.rank)
+		}
+		return triUnknown
+	}
+	if a.k == kStruct && b.k == kStruct {
+		if op == token.EQL {
+			return knownTri(a.st == b.st)
+		}
+		return knownTri(a.st != b.st)
+	}
+	return triUnknown
+}
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+// constValue resolves compile-time constants through go/types.
+func (d *deriver) constValue(e ast.Expr) (val, bool) {
+	tv, ok := d.info().Types[e]
+	if !ok || tv.Value == nil {
+		return val{}, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int:
+		if c, exact := constant.Int64Val(tv.Value); exact {
+			return intVal(c), true
+		}
+	case constant.String:
+		return strVal(constant.StringVal(tv.Value)), true
+	case constant.Bool:
+		return boolVal(constant.BoolVal(tv.Value)), true
+	case constant.Float:
+		if f, _ := constant.Float64Val(tv.Value); f == float64(int64(f)) {
+			return intVal(int64(f)), true
+		}
+		return unknownNum(), true
+	}
+	return val{}, false
+}
+
+func (d *deriver) evalExpr(e ast.Expr, sc *scope) val {
+	d.burn(e.Pos())
+	if v, ok := d.constValue(e); ok {
+		return v
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return d.evalIdent(x, sc)
+	case *ast.ParenExpr:
+		return d.evalExpr(x.X, sc)
+	case *ast.StarExpr:
+		return d.evalExpr(x.X, sc)
+	case *ast.SelectorExpr:
+		return d.evalSelector(x, sc)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			switch d.evalCond(x, sc) {
+			case triTrue:
+				return boolVal(true)
+			case triFalse:
+				return boolVal(false)
+			}
+			return unknownBool()
+		}
+		return d.binop(x.Op, d.evalExpr(x.X, sc), d.evalExpr(x.Y, sc), x.Pos())
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.NOT:
+			switch d.evalCond(x.X, sc) {
+			case triTrue:
+				return boolVal(false)
+			case triFalse:
+				return boolVal(true)
+			}
+			return unknownBool()
+		case token.SUB:
+			return d.numBinop(token.SUB, intVal(0), d.evalExpr(x.X, sc), x.Pos())
+		case token.AND:
+			return d.evalExpr(x.X, sc)
+		case token.ADD:
+			return d.evalExpr(x.X, sc)
+		case token.XOR:
+			v := d.evalExpr(x.X, sc)
+			if c, ok := v.constInt(); ok {
+				return intVal(^c)
+			}
+			return unknownNum()
+		}
+	case *ast.CallExpr:
+		return d.evalCall(x, sc)
+	case *ast.IndexExpr:
+		return d.evalIndex(x, sc)
+	case *ast.SliceExpr:
+		return d.evalSlice(x, sc)
+	case *ast.CompositeLit:
+		return d.evalComposite(x, sc)
+	case *ast.FuncLit:
+		return val{k: kFunc, fn: &closure{lit: x, env: sc, pkg: d.pkg}}
+	case *ast.TypeAssertExpr:
+		return d.evalExpr(x.X, sc)
+	case *ast.BasicLit:
+		// Unreached in practice (constValue covers literals).
+		return opaqueVal()
+	}
+	d.fail(e.Pos(), "costbound: unmodeled expression %T", e)
+	return val{}
+}
+
+func (d *deriver) evalIdent(x *ast.Ident, sc *scope) val {
+	if x.Name == "nil" {
+		return nilVal()
+	}
+	obj := d.info().Uses[x]
+	if obj == nil {
+		obj = d.info().Defs[x]
+	}
+	if obj == nil {
+		d.fail(x.Pos(), "costbound: unresolved identifier %s", x.Name)
+	}
+	if c := sc.find(obj); c != nil {
+		return c.v
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		if n := d.sums.Graph.Nodes[framework.FuncKey(o)]; n != nil {
+			return val{k: kFunc, fn: &closure{node: n}}
+		}
+		return val{k: kFunc, fn: &closure{}}
+	case *types.Nil:
+		return nilVal()
+	}
+	d.fail(x.Pos(), "costbound: unbound identifier %s (%T)", x.Name, obj)
+	return val{}
+}
+
+func (d *deriver) evalSelector(x *ast.SelectorExpr, sc *scope) val {
+	// Package-qualified name?
+	if id, ok := x.X.(*ast.Ident); ok {
+		if _, isPkg := d.info().Uses[id].(*types.PkgName); isPkg {
+			obj := d.info().Uses[x.Sel]
+			if fn, ok := obj.(*types.Func); ok {
+				if n := d.sums.Graph.Nodes[framework.FuncKey(fn)]; n != nil {
+					return val{k: kFunc, fn: &closure{node: n}}
+				}
+				return val{k: kFunc, fn: &closure{}}
+			}
+			// Constants were handled by constValue; package vars are out of
+			// the modeled fragment.
+			d.fail(x.Pos(), "costbound: unmodeled package member %s.%s", id.Name, x.Sel.Name)
+		}
+	}
+	base := d.evalExpr(x.X, sc)
+	switch base.k {
+	case kStruct:
+		if v, ok := base.st.fields[x.Sel.Name]; ok {
+			return v
+		}
+		// A method value on the struct?
+		if fn, ok := d.info().Uses[x.Sel].(*types.Func); ok {
+			if n := d.sums.Graph.Nodes[framework.FuncKey(fn)]; n != nil {
+				recv := base
+				return val{k: kFunc, fn: &closure{node: n, recv: &recv}}
+			}
+		}
+		d.fail(x.Pos(), "costbound: unknown field %s on %s", x.Sel.Name, base.st.typ)
+	case kOpaque:
+		return opaqueVal()
+	case kProc, kMachine, kVec, kGroupSym, kSlice, kMap:
+		// Method value (e.g. passing p.Send around) — bind receiver.
+		if fn, ok := d.info().Uses[x.Sel].(*types.Func); ok {
+			recv := base
+			if n := d.sums.Graph.Nodes[framework.FuncKey(fn)]; n != nil {
+				return val{k: kFunc, fn: &closure{node: n, recv: &recv}}
+			}
+			return val{k: kFunc, fn: &closure{recv: &recv}}
+		}
+	}
+	d.fail(x.Pos(), "costbound: unmodeled selector on %s", base.describe())
+	return val{}
+}
+
+func (d *deriver) evalIndex(x *ast.IndexExpr, sc *scope) val {
+	base := d.evalExpr(x.X, sc)
+	idx := d.evalExpr(x.Index, sc)
+	switch base.k {
+	case kVec:
+		return unitBig()
+	case kSlice:
+		i, ok := idx.constInt()
+		if !ok {
+			// Reading any element of a uniform slice: join of all elements.
+			if len(base.elems) > 0 {
+				j := base.elems[0]
+				for _, e := range base.elems[1:] {
+					j = joinVal(j, e)
+				}
+				return j
+			}
+			d.fail(x.Pos(), "costbound: non-concrete index into empty slice")
+		}
+		if i < 0 || int(i) >= len(base.elems) {
+			d.fail(x.Pos(), "costbound: slice index %d out of range [0,%d)", i, len(base.elems))
+		}
+		return base.elems[i]
+	case kMap:
+		key, ok := renderKey(idx)
+		if !ok {
+			d.fail(x.Pos(), "costbound: map read with non-concrete key")
+		}
+		if v, present := base.m[key]; present {
+			return v
+		}
+		if t, ok := d.info().Types[x]; ok {
+			return zeroVal(t.Type)
+		}
+		return opaqueVal()
+	case kOpaque:
+		// Element of an unmodeled container: unknown of the static type
+		// (e.g. U()[j][m] is an unknown int64 coefficient, so `c == 0`
+		// correctly forks into a worst-case join).
+		if t, ok := d.info().Types[x]; ok {
+			return d.genericResult(t.Type)
+		}
+		return opaqueVal()
+	case kGroupSym:
+		return unknownNum() // group members are ranks (ints)
+	}
+	d.fail(x.Pos(), "costbound: unmodeled index into %s", base.describe())
+	return val{}
+}
+
+func (d *deriver) evalSlice(x *ast.SliceExpr, sc *scope) val {
+	base := d.evalExpr(x.X, sc)
+	lowV := intVal(0)
+	if x.Low != nil {
+		lowV = d.evalExpr(x.Low, sc)
+	}
+	switch base.k {
+	case kVec:
+		if !base.numOK {
+			d.fail(x.Pos(), "costbound: slicing vector of unknown length")
+		}
+		highE := base.w
+		if x.High != nil {
+			h := d.evalExpr(x.High, sc)
+			if h.k != kNum || !h.numOK {
+				d.fail(x.Pos(), "costbound: non-derivable slice bound")
+			}
+			highE = h.num
+		}
+		if lowV.k != kNum || !lowV.numOK {
+			d.fail(x.Pos(), "costbound: non-derivable slice bound")
+		}
+		return vecVal(highE.Sub(lowV.num))
+	case kSlice:
+		lo, ok1 := lowV.constInt()
+		hi := int64(len(base.elems))
+		ok2 := true
+		if x.High != nil {
+			hi, ok2 = d.evalExpr(x.High, sc).constInt()
+		}
+		if !ok1 || !ok2 || lo < 0 || hi < lo || int(hi) > len(base.elems) {
+			d.fail(x.Pos(), "costbound: non-concrete slice bounds")
+		}
+		return val{k: kSlice, elems: base.elems[lo:hi]}
+	case kOpaque:
+		return opaqueVal()
+	}
+	d.fail(x.Pos(), "costbound: unmodeled slice of %s", base.describe())
+	return val{}
+}
+
+// isIntVecType reports whether t is a limb-vector type ([]Int / Ints /
+// machine.Ints — any slice whose element is a named type "Int").
+func isIntVecType(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return framework.NamedTypeName(s.Elem()) == "Int"
+}
+
+func (d *deriver) evalComposite(x *ast.CompositeLit, sc *scope) val {
+	tv, ok := d.info().Types[x]
+	if !ok {
+		d.fail(x.Pos(), "costbound: untyped composite literal")
+	}
+	t := tv.Type
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		sv := structV(framework.NamedTypeName(t))
+		for i := 0; i < u.NumFields(); i++ {
+			sv.st.fields[u.Field(i).Name()] = zeroVal(u.Field(i).Type())
+		}
+		for i, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				name := kv.Key.(*ast.Ident).Name
+				sv.st.fields[name] = d.evalExpr(kv.Value, sc)
+			} else {
+				sv.st.fields[u.Field(i).Name()] = d.evalExpr(el, sc)
+			}
+		}
+		return sv
+	case *types.Slice, *types.Array:
+		if isIntVecType(t) {
+			for _, el := range x.Elts {
+				d.evalExpr(el, sc)
+			}
+			return vecVal(framework.SymConst(int64(len(x.Elts))))
+		}
+		var elems []val
+		for _, el := range x.Elts {
+			if _, ok := el.(*ast.KeyValueExpr); ok {
+				d.fail(x.Pos(), "costbound: keyed slice literal unmodeled")
+			}
+			elems = append(elems, d.evalExpr(el, sc))
+		}
+		return sliceVal(elems)
+	case *types.Map:
+		mv := val{k: kMap, m: map[string]val{}, mk: map[string]val{}}
+		for _, el := range x.Elts {
+			kv := el.(*ast.KeyValueExpr)
+			key := d.evalExpr(kv.Key, sc)
+			ks, ok := renderKey(key)
+			if !ok {
+				d.fail(x.Pos(), "costbound: map literal with non-concrete key")
+			}
+			mv.m[ks] = d.evalExpr(kv.Value, sc)
+			mv.mk[ks] = key
+		}
+		return mv
+	}
+	d.fail(x.Pos(), "costbound: unmodeled composite literal type %s", t)
+	return val{}
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic.
+
+func (d *deriver) binop(op token.Token, a, b val, pos token.Pos) val {
+	if a.k == kStr || b.k == kStr {
+		if op == token.ADD && a.sOK && b.sOK {
+			return strVal(a.s + b.s)
+		}
+		return val{k: kStr}
+	}
+	return d.numBinop(op, a, b, pos)
+}
+
+func (d *deriver) numBinop(op token.Token, a, b val, pos token.Pos) val {
+	// Opaque data arithmetic stays opaque (never feeds counts).
+	if a.k == kOpaque || b.k == kOpaque || a.k == kBig || b.k == kBig {
+		return unknownNum()
+	}
+	if a.k != kNum || b.k != kNum {
+		d.fail(pos, "costbound: arithmetic on %s and %s", a.describe(), b.describe())
+	}
+	if !a.numOK || !b.numOK {
+		return unknownNum()
+	}
+	ac, aok := a.num.IsConst()
+	bc, bok := b.num.IsConst()
+	if aok && bok {
+		switch op {
+		case token.ADD:
+			return intVal(ac + bc)
+		case token.SUB:
+			return intVal(ac - bc)
+		case token.MUL:
+			return intVal(ac * bc)
+		case token.QUO:
+			if bc == 0 {
+				d.fail(pos, "costbound: division by zero")
+			}
+			return intVal(ac / bc)
+		case token.REM:
+			if bc == 0 {
+				d.fail(pos, "costbound: modulo by zero")
+			}
+			return intVal(ac % bc)
+		case token.SHL:
+			return intVal(ac << uint(bc))
+		case token.SHR:
+			return intVal(ac >> uint(bc))
+		case token.AND:
+			return intVal(ac & bc)
+		case token.OR:
+			return intVal(ac | bc)
+		case token.XOR:
+			return intVal(ac ^ bc)
+		case token.AND_NOT:
+			return intVal(ac &^ bc)
+		}
+		d.fail(pos, "costbound: unmodeled operator %v", op)
+	}
+	switch op {
+	case token.ADD:
+		return numVal(a.num.Add(b.num))
+	case token.SUB:
+		return numVal(a.num.Sub(b.num))
+	case token.MUL:
+		return numVal(a.num.Mul(b.num))
+	case token.SHL:
+		if bok && bc >= 0 && bc < 32 {
+			return numVal(a.num.Scale(1 << uint(bc)))
+		}
+	case token.QUO:
+		// Exact symbolic division when the coefficients divide; the
+		// protocol's size arithmetic is exact by construction.
+		if bok && bc > 0 {
+			q := framework.SymCeilDiv(a.num, b.num)
+			return numVal(q)
+		}
+	}
+	return unknownNum()
+}

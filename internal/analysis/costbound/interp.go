@@ -1,0 +1,313 @@
+// Package costbound derives F/BW/L cost polynomials from the real
+// collective/parallel/ftparallel sources by abstract interpretation and
+// checks them against the paper's closed forms (table.go).
+//
+// One interpreter runs in two modes.
+//
+// Symbolic mode derives closed forms for the binomial-tree collectives:
+// the group size g and payload word count W stay symbolic, rank-dependent
+// branches join component-wise (max over participants, exactly the
+// per-counter critical-path semantics of machine.Report), and the two loop
+// shapes of the protocol — doubling loops (⌈log₂ n⌉ trips) and linear
+// scans — contribute trip × per-iteration cost symbolically. A loop body
+// that can exit early (Reduce's send-and-retire) charges
+// trip × (non-exiting per-iteration cost) + the exiting path's one-shot
+// cost, which is sound and component-wise tight for these protocols.
+//
+// Concrete mode evaluates the recursive multiplication tiers per rank over
+// a finite world (P, k, F, ldfs, leaf bound): every rank-dependent branch
+// decides, loops iterate, and recursion terminates. Message sizes cross
+// rank boundaries through a send log: each Send records its payload words
+// under (src→dst, tag) and each RecvInts pops the matching entry; the whole
+// world is re-interpreted until the log reaches a fixpoint (a handful of
+// passes — one per pipeline phase that feeds shapes forward). Per-rank
+// totals then reduce by component-wise max, mirroring machine.Report.
+//
+// Data values are never tracked — only shapes, in the unit-word model
+// (every limb occupies one word, matching machine.Ints.Words() on the
+// small-entry worlds the crosscheck suite replays). Data-dependent
+// branches (IsZero skips, interpolation-weight tests) evaluate both arms
+// and join by max, so derived work is the worst case the paper bounds.
+// Any construct outside the modeled fragment aborts derivation with a
+// position-carrying error that the analyzer reports — silence is never an
+// answer (non-vacuity).
+package costbound
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// costVec is the four-counter cost state, matching costacct.Stats: F
+// (word operations), S (sent words), R (received words), L (messages).
+type costVec struct {
+	F, S, R, L framework.SymExpr
+}
+
+func (c costVec) add(d costVec) costVec {
+	return costVec{c.F.Add(d.F), c.S.Add(d.S), c.R.Add(d.R), c.L.Add(d.L)}
+}
+
+func (c costVec) sub(d costVec) costVec {
+	return costVec{c.F.Sub(d.F), c.S.Sub(d.S), c.R.Sub(d.R), c.L.Sub(d.L)}
+}
+
+func (c costVec) scale(trip framework.SymExpr) costVec {
+	return costVec{c.F.Mul(trip), c.S.Mul(trip), c.R.Mul(trip), c.L.Mul(trip)}
+}
+
+func (c costVec) maxWith(d costVec) costVec {
+	return costVec{
+		framework.SymMaxMin1(c.F, d.F),
+		framework.SymMaxMin1(c.S, d.S),
+		framework.SymMaxMin1(c.R, d.R),
+		framework.SymMaxMin1(c.L, d.L),
+	}
+}
+
+func (c costVec) String() string {
+	return fmt.Sprintf("F=%s S=%s R=%s L=%s", c.F, c.S, c.R, c.L)
+}
+
+func (c costVec) equal(d costVec) bool {
+	return c.F.Equal(d.F) && c.S.Equal(d.S) && c.R.Equal(d.R) && c.L.Equal(d.L)
+}
+
+// eval evaluates all four counters under env.
+func (c costVec) eval(env map[string]int64) (f, s, r, l int64, err error) {
+	if f, err = c.F.Eval(env); err != nil {
+		return
+	}
+	if s, err = c.S.Eval(env); err != nil {
+		return
+	}
+	if r, err = c.R.Eval(env); err != nil {
+		return
+	}
+	l, err = c.L.Eval(env)
+	return
+}
+
+// scope is a lexical environment; closures capture their defining scope.
+type scope struct {
+	parent *scope
+	vars   map[types.Object]*cell
+}
+
+type cell struct{ v val }
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[types.Object]*cell{}}
+}
+
+func (s *scope) find(obj types.Object) *cell {
+	for sc := s; sc != nil; sc = sc.parent {
+		if c, ok := sc.vars[obj]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (s *scope) define(obj types.Object, v val) *cell {
+	c := &cell{v: v}
+	s.vars[obj] = c
+	return c
+}
+
+// interpErr aborts derivation; pos points at the construct that escaped the
+// modeled fragment.
+type interpErr struct {
+	pos token.Pos
+	msg string
+}
+
+func (e interpErr) Error() string { return e.msg }
+
+// missingNode marks a callee whose source is not in the analyzed package
+// set: the derivation is skipped (not reported) because the world is
+// incomplete, e.g. a single-package ftlint invocation.
+type missingNode struct{ key string }
+
+func (e missingNode) Error() string { return "missing source for " + e.key }
+
+// doneSignal unwinds interpretation once the machine.Run contract has
+// collected every rank's charges; the host-side epilogue (assembly) is
+// cost-free by construction (costcharge governs the charge sites).
+type doneSignal struct{}
+
+// flow is the control outcome of a statement.
+type flow int
+
+const (
+	flowNorm flow = iota
+	flowRet
+	flowBrk
+	flowCont
+)
+
+type loopCtx struct {
+	brks []costVec // absolute cost at each break under this loop
+	sw   bool      // a switch frame: absorbs break without recording it
+}
+
+// deriver interprets one target function.
+type deriver struct {
+	sums *framework.Summaries
+	fset *token.FileSet
+
+	symbolic bool
+	spmdW    framework.SymExpr // symbolic payload measure (SPMD-uniform)
+
+	// Concrete mode.
+	rank      int64
+	machineP  int64
+	prevLog   map[string][]int64 // send log from the previous pass
+	curLog    map[string][]int64
+	recvCur   map[string]int // per-rank read cursors into prevLog
+	logMiss   bool           // some recv found no matching send yet
+	rankCosts map[int64]costVec
+	rankFail  map[int64]error
+
+	pkg       *framework.Package // package whose Info resolves current ASTs
+	cost      costVec
+	exits     []exitRec // return records of the current function frame
+	curNamed  []*cell   // named-result cells of the current frame
+	loops     []*loopCtx
+	trails    []*trail
+	joinDepth int // >0 while evaluating an undecided branch arm
+	fuel      int
+	depth     int
+}
+
+type exitRec struct {
+	cost costVec
+	vals []val
+}
+
+func (d *deriver) fail(pos token.Pos, format string, args ...any) {
+	where := ""
+	if d.fset != nil && pos.IsValid() {
+		where = d.fset.Position(pos).String() + ": "
+	}
+	panic(interpErr{pos: pos, msg: where + fmt.Sprintf(format, args...)})
+}
+
+func (d *deriver) burn(pos token.Pos) {
+	d.fuel--
+	if d.fuel <= 0 {
+		d.fail(pos, "costbound: interpretation fuel exhausted (diverging model?)")
+	}
+}
+
+func (d *deriver) charge(c costVec) { d.cost = d.cost.add(c) }
+
+// ---------------------------------------------------------------------------
+// Conditions: three-valued, with the count-prover (all parameters ≥ 1).
+
+type tri int
+
+const (
+	triFalse tri = iota
+	triTrue
+	triUnknown
+)
+
+func knownTri(b bool) tri {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+// cmpNums decides a comparison between two abstract numbers when provable.
+func cmpNums(op token.Token, a, b val) tri {
+	if a.k != kNum || b.k != kNum || !a.numOK || !b.numOK {
+		return triUnknown
+	}
+	if ac, aok := a.num.IsConst(); aok {
+		if bc, bok := b.num.IsConst(); bok {
+			switch op {
+			case token.EQL:
+				return knownTri(ac == bc)
+			case token.NEQ:
+				return knownTri(ac != bc)
+			case token.LSS:
+				return knownTri(ac < bc)
+			case token.LEQ:
+				return knownTri(ac <= bc)
+			case token.GTR:
+				return knownTri(ac > bc)
+			case token.GEQ:
+				return knownTri(ac >= bc)
+			}
+			return triUnknown
+		}
+	}
+	// Symbolic: prove with the ≥1 coefficient test where possible.
+	ge := framework.GEMin1
+	switch op {
+	case token.GEQ:
+		if ge(a.num, b.num) {
+			return triTrue
+		}
+		if ge(b.num, a.num.Add(framework.SymConst(1))) { // b ≥ a+1 ⇒ a < b
+			return triFalse
+		}
+	case token.LSS:
+		if ge(b.num, a.num.Add(framework.SymConst(1))) {
+			return triTrue
+		}
+		if ge(a.num, b.num) {
+			return triFalse
+		}
+	case token.GTR:
+		if ge(a.num, b.num.Add(framework.SymConst(1))) {
+			return triTrue
+		}
+		if ge(b.num, a.num) {
+			return triFalse
+		}
+	case token.LEQ:
+		if ge(b.num, a.num) {
+			return triTrue
+		}
+		if ge(a.num, b.num.Add(framework.SymConst(1))) {
+			return triFalse
+		}
+	case token.EQL:
+		if a.num.Equal(b.num) {
+			return triTrue
+		}
+		if ge(a.num, b.num.Add(framework.SymConst(1))) || ge(b.num, a.num.Add(framework.SymConst(1))) {
+			return triFalse
+		}
+	case token.NEQ:
+		if a.num.Equal(b.num) {
+			return triFalse
+		}
+		if ge(a.num, b.num.Add(framework.SymConst(1))) || ge(b.num, a.num.Add(framework.SymConst(1))) {
+			return triTrue
+		}
+	}
+	return triUnknown
+}
+
+// isNilish reports whether v is definitely nil / definitely non-nil.
+func nilness(v val) tri {
+	switch v.k {
+	case kNil:
+		return triTrue
+	case kOpaque, kStruct, kFunc, kProc, kMachine, kVec, kBig, kSlice, kGroupSym:
+		return triFalse
+	case kMap:
+		if v.m == nil {
+			return triTrue
+		}
+		return triFalse
+	}
+	return triUnknown
+}

@@ -1,0 +1,265 @@
+package costbound
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// The abstract value domain. Cost derivation only needs shapes and counts,
+// never digit values: integers are symbolic expressions (constants in
+// concrete mode), limb vectors are measured by their word count (the
+// unit-word model: every entry occupies exactly one machine word, which is
+// what machine.Ints.Words() charges for small entries), and big-integer
+// scalars are opaque carriers of a word measure. Everything else — slices,
+// maps, structs, closures, endpoints — models just enough Go semantics to
+// execute the real protocol sources.
+type kind int
+
+const (
+	kInvalid kind = iota
+	kNum          // integer; num is valid iff numOK
+	kBool         // boolean; b valid iff bOK
+	kStr          // string; s valid iff sOK
+	kBig          // opaque scalar (bigint.Int, rat entries, ...) with a word measure
+	kVec          // []Int / machine.Ints, measured by w (words == length, unit model)
+	kSlice        // slice with concrete length and per-element values
+	kMap          // map with concretely rendered keys
+	kStruct       // struct (pointer semantics: shared *structVal)
+	kFunc         // func value (closure or declared function)
+	kProc         // machine endpoint; rank < 0 means symbolic participant
+	kMachine      // machine.Machine carrying its processor count
+	kGroupSym     // symbolic collective.Group of size n
+	kNil          // nil / zero pointer / nil error
+	kOpaque       // inert unmodeled value (never nil)
+	kMaybeNil     // join of nil and non-nil: nilness undecidable
+	kTuple        // multi-value
+)
+
+type structVal struct {
+	typ    string
+	fields map[string]val
+}
+
+type closure struct {
+	node *framework.CGNode  // declared function, or
+	lit  *ast.FuncLit       // function literal ...
+	env  *scope             // ... with its captured scope
+	pkg  *framework.Package // package the literal's Info lives in
+	recv *val               // bound receiver for method calls
+}
+
+type val struct {
+	k     kind
+	num   framework.SymExpr
+	numOK bool
+	b     bool
+	bOK   bool
+	s     string
+	sOK   bool
+	w     framework.SymExpr // kVec / kBig measure
+	elems []val             // kSlice / kTuple
+	m     map[string]val    // kMap (rendered key → value)
+	mk    map[string]val    // kMap (rendered key → original key value)
+	st    *structVal
+	fn    *closure
+	rank  int64             // kProc
+	mP    int64             // kMachine processor count
+	n     framework.SymExpr // kGroupSym size
+}
+
+func numVal(e framework.SymExpr) val  { return val{k: kNum, num: e, numOK: true} }
+func intVal(c int64) val              { return numVal(framework.SymConst(c)) }
+func unknownNum() val                 { return val{k: kNum} }
+func boolVal(b bool) val              { return val{k: kBool, b: b, bOK: true} }
+func unknownBool() val                { return val{k: kBool} }
+func strVal(s string) val             { return val{k: kStr, s: s, sOK: true} }
+func vecVal(w framework.SymExpr) val  { return val{k: kVec, w: w, numOK: true} }
+func unknownVec() val                 { return val{k: kVec} }
+func bigVal(w framework.SymExpr) val  { return val{k: kBig, w: w, numOK: true} }
+func unitBig() val                    { return bigVal(framework.SymConst(1)) }
+func nilVal() val                     { return val{k: kNil} }
+func opaqueVal() val                  { return val{k: kOpaque} }
+func sliceVal(elems []val) val        { return val{k: kSlice, elems: elems} }
+func tupleVal(elems ...val) val       { return val{k: kTuple, elems: elems} }
+func procVal(rank int64) val          { return val{k: kProc, rank: rank} }
+func structV(typ string) val {
+	return val{k: kStruct, st: &structVal{typ: typ, fields: map[string]val{}}}
+}
+
+// constInt extracts a concrete integer, panicking into the unmodeled path
+// otherwise; callers use it where the protocol itself needs the number
+// (loop bounds, ranks, slice lengths).
+func (v val) constInt() (int64, bool) {
+	if v.k != kNum || !v.numOK {
+		return 0, false
+	}
+	return v.num.IsConst()
+}
+
+func (v val) describe() string {
+	switch v.k {
+	case kNum:
+		if v.numOK {
+			return "num(" + v.num.String() + ")"
+		}
+		return "num(?)"
+	case kBool:
+		if v.bOK {
+			return fmt.Sprintf("bool(%v)", v.b)
+		}
+		return "bool(?)"
+	case kStr:
+		if v.sOK {
+			return fmt.Sprintf("str(%q)", v.s)
+		}
+		return "str(?)"
+	case kBig:
+		return "big[" + v.w.String() + "w]"
+	case kVec:
+		return "vec[" + v.w.String() + "]"
+	case kSlice:
+		return fmt.Sprintf("slice[%d]", len(v.elems))
+	case kMap:
+		return fmt.Sprintf("map[%d]", len(v.m))
+	case kStruct:
+		return "struct " + v.st.typ
+	case kFunc:
+		return "func"
+	case kProc:
+		return fmt.Sprintf("proc(%d)", v.rank)
+	case kMachine:
+		return fmt.Sprintf("machine(P=%d)", v.mP)
+	case kGroupSym:
+		return "group(" + v.n.String() + ")"
+	case kNil:
+		return "nil"
+	case kOpaque:
+		return "opaque"
+	case kMaybeNil:
+		return "maybe-nil"
+	case kTuple:
+		return fmt.Sprintf("tuple[%d]", len(v.elems))
+	}
+	return "invalid"
+}
+
+// joinVal merges the values a variable holds on the two sides of an
+// undecided branch. Counts join to their maximum (cost-model semantics:
+// every count feeds a worst-case charge); everything else that differs
+// degrades to unknown of its kind, or to opaque across kinds.
+func joinVal(a, b val) val {
+	if a.k == b.k {
+		switch a.k {
+		case kNum:
+			if a.numOK && b.numOK {
+				if a.num.Equal(b.num) {
+					return a
+				}
+				return numVal(framework.SymMax(a.num, b.num))
+			}
+			return unknownNum()
+		case kBool:
+			if a.bOK && b.bOK && a.b == b.b {
+				return a
+			}
+			return unknownBool()
+		case kStr:
+			if a.sOK && b.sOK && a.s == b.s {
+				return a
+			}
+			return val{k: kStr}
+		case kVec:
+			if !a.numOK || !b.numOK {
+				return unknownVec()
+			}
+			if a.w.Equal(b.w) {
+				return a
+			}
+			return vecVal(framework.SymMaxMin1(a.w, b.w))
+		case kBig:
+			if !a.numOK || !b.numOK {
+				return val{k: kBig}
+			}
+			if a.w.Equal(b.w) {
+				return a
+			}
+			return bigVal(framework.SymMaxMin1(a.w, b.w))
+		case kProc:
+			if a.rank == b.rank {
+				return a
+			}
+			return val{k: kProc, rank: -1}
+		case kNil, kMaybeNil:
+			return a
+		case kStruct:
+			if a.st == b.st {
+				return a
+			}
+			return opaqueVal()
+		case kSlice:
+			if len(a.elems) == len(b.elems) {
+				out := make([]val, len(a.elems))
+				for i := range out {
+					out[i] = joinVal(a.elems[i], b.elems[i])
+				}
+				return sliceVal(out)
+			}
+			return opaqueVal()
+		case kTuple:
+			if len(a.elems) == len(b.elems) {
+				out := make([]val, len(a.elems))
+				for i := range out {
+					out[i] = joinVal(a.elems[i], b.elems[i])
+				}
+				return tupleVal(out...)
+			}
+			return opaqueVal()
+		}
+		return opaqueVal()
+	}
+	// A nil error joined with a non-nil one must keep its nilness
+	// undecidable — deciding `err != nil` either way after such a join
+	// would silently drop one arm's cost. Other cross-kind pairs lose all
+	// precision except non-crashing inertness.
+	if a.k == kNil || b.k == kNil || a.k == kMaybeNil || b.k == kMaybeNil {
+		return val{k: kMaybeNil}
+	}
+	return opaqueVal()
+}
+
+// zeroVal builds the Go zero value of t in the abstract domain.
+func zeroVal(t types.Type) val {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		switch {
+		case info&types.IsInteger != 0, info&types.IsFloat != 0:
+			return intVal(0)
+		case info&types.IsBoolean != 0:
+			return boolVal(false)
+		case info&types.IsString != 0:
+			return strVal("")
+		}
+		return opaqueVal()
+	case *types.Slice, *types.Map, *types.Pointer, *types.Signature, *types.Interface, *types.Chan:
+		return nilVal()
+	case *types.Struct:
+		name := framework.NamedTypeName(t)
+		sv := structV(name)
+		for i := 0; i < u.NumFields(); i++ {
+			sv.st.fields[u.Field(i).Name()] = zeroVal(u.Field(i).Type())
+		}
+		return sv
+	case *types.Array:
+		n := int(u.Len())
+		elems := make([]val, n)
+		for i := range elems {
+			elems[i] = zeroVal(u.Elem())
+		}
+		return sliceVal(elems)
+	}
+	return opaqueVal()
+}

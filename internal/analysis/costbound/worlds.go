@@ -1,0 +1,224 @@
+package costbound
+
+// worlds.go drives the interpreter: symbolic derivation of a collective's
+// closed form from its declaration, and the send-log fixpoint that derives
+// exact per-rank counts for a finite multiplication world.
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// maxFixpointPasses bounds the send-log iteration; each pipeline phase that
+// feeds message shapes forward needs one pass, so the certified worlds
+// converge in single digits.
+const maxFixpointPasses = 64
+
+// nodeForDecl finds the call-graph node backing a declaration.
+func nodeForDecl(sums *framework.Summaries, obj *types.Func) *framework.CGNode {
+	if obj == nil {
+		return nil
+	}
+	return sums.Graph.Nodes[framework.FuncKey(obj)]
+}
+
+// collectiveArgs builds symbolic entry arguments for a collective whose
+// parameters follow the Broadcast/Reduce shape: an endpoint, a group, any
+// number of int/string scalars, and one payload vector. Returns false if a
+// parameter falls outside that shape.
+func collectiveArgs(sig *types.Signature) ([]val, bool) {
+	args := make([]val, 0, sig.Params().Len())
+	payloads := 0
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		switch {
+		case framework.NamedTypeName(t) == "Proc":
+			args = append(args, procVal(-1))
+		case framework.NamedTypeName(t) == "Group":
+			args = append(args, val{k: kGroupSym, n: framework.SymVar("g")})
+		case isIntVecType(t) || framework.NamedTypeName(t) == "Ints":
+			args = append(args, vecVal(framework.SymVar("W")))
+			payloads++
+		default:
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok {
+				return nil, false
+			}
+			switch {
+			case b.Info()&types.IsInteger != 0:
+				args = append(args, intVal(0))
+			case b.Info()&types.IsString != 0:
+				args = append(args, strVal("t"))
+			default:
+				return nil, false
+			}
+		}
+	}
+	return args, payloads == 1
+}
+
+// deriveCollective interprets one collective declaration symbolically and
+// returns the derived cost polynomial over g (group size) and W (payload
+// words).
+func deriveCollective(sums *framework.Summaries, fset *token.FileSet, node *framework.CGNode) (cv costVec, err error) {
+	sig, _ := node.Fn.Type().(*types.Signature)
+	if sig == nil {
+		return costVec{}, fmt.Errorf("no signature for %s", node.Key)
+	}
+	args, ok := collectiveArgs(sig)
+	if !ok {
+		return costVec{}, fmt.Errorf("parameters of %s fall outside the collective shape", node.Key)
+	}
+	d := &deriver{
+		sums:     sums,
+		fset:     fset,
+		symbolic: true,
+		spmdW:    framework.SymVar("W"),
+		pkg:      node.Pkg,
+		fuel:     hostFuel,
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			switch e := rec.(type) {
+			case interpErr:
+				err = e
+			case missingNode:
+				err = e
+			default:
+				panic(rec)
+			}
+		}
+	}()
+	d.callNode(node, nil, args, nil)
+	return d.cost, nil
+}
+
+// worldArgs builds the (a, b, opts) arguments for a tier's Multiply entry.
+// opts starts from the real Options type's zero value, so every field the
+// interpreted sources read is present, then the world's shape parameters
+// are filled in.
+func worldArgs(entry *framework.CGNode, w World) ([]val, error) {
+	sig, _ := entry.Fn.Type().(*types.Signature)
+	if sig == nil || sig.Params().Len() != 3 {
+		return nil, fmt.Errorf("entry %s does not look like Multiply(a, b, opts)", entry.Key)
+	}
+	opts := zeroVal(sig.Params().At(2).Type())
+	if opts.k != kStruct {
+		return nil, fmt.Errorf("entry %s has a non-struct options parameter", entry.Key)
+	}
+	alg := structV("Algorithm")
+	alg.st.fields["k"] = intVal(int64(w.K))
+	f := opts.st.fields
+	f["Alg"] = alg
+	f["P"] = intVal(int64(w.P))
+	f["DFSSteps"] = intVal(int64(w.DFSSteps))
+	f["LeafFactor"] = intVal(int64(w.Leaf))
+	if w.FT {
+		f["F"] = intVal(int64(w.Faults))
+	}
+	return []val{unitBig(), unitBig(), opts}, nil
+}
+
+// deriveWorld interprets a Multiply entry over one finite world, iterating
+// the cross-rank send log to a fixpoint, and returns the per-counter maxima
+// over all simulated ranks.
+func deriveWorld(sums *framework.Summaries, fset *token.FileSet, entry *framework.CGNode, w World) (Counts, error) {
+	args, err := worldArgs(entry, w)
+	if err != nil {
+		return Counts{}, err
+	}
+	prev := map[string][]int64{}
+	var lastFail error
+	for pass := 0; pass < maxFixpointPasses; pass++ {
+		d := &deriver{
+			sums:      sums,
+			fset:      fset,
+			machineP:  int64(w.MachineP()),
+			prevLog:   prev,
+			curLog:    map[string][]int64{},
+			recvCur:   map[string]int{},
+			rankCosts: map[int64]costVec{},
+			rankFail:  map[int64]error{},
+			pkg:       entry.Pkg,
+			fuel:      hostFuel,
+		}
+		reachedRun, err := runEntry(d, entry, args)
+		if err != nil {
+			return Counts{}, err
+		}
+		if !reachedRun {
+			return Counts{}, fmt.Errorf("world %s: entry finished without reaching machine.Run", w.Name)
+		}
+		lastFail = nil
+		for r := int64(0); r < d.machineP; r++ {
+			if e, bad := d.rankFail[r]; bad {
+				lastFail = fmt.Errorf("rank %d: %v", r, e)
+				break
+			}
+		}
+		if lastFail == nil && !d.logMiss && logsEqual(prev, d.curLog) {
+			out := Counts{}
+			env := map[string]int64{}
+			for r := int64(0); r < d.machineP; r++ {
+				cv, ok := d.rankCosts[r]
+				if !ok {
+					return Counts{}, fmt.Errorf("world %s: rank %d produced no cost", w.Name, r)
+				}
+				cf, cs, cr, cl, err := cv.eval(env)
+				if err != nil {
+					return Counts{}, fmt.Errorf("world %s: rank %d cost not concrete: %v", w.Name, r, err)
+				}
+				out = maxCounts(out, Counts{cf, cs, cr, cl})
+			}
+			return out, nil
+		}
+		prev = d.curLog
+	}
+	if lastFail != nil {
+		return Counts{}, fmt.Errorf("world %s: no fixpoint after %d passes; %v", w.Name, maxFixpointPasses, lastFail)
+	}
+	return Counts{}, fmt.Errorf("world %s: send log did not converge after %d passes", w.Name, maxFixpointPasses)
+}
+
+// runEntry interprets the entry function once, converting the interpreter's
+// panic-based exits into results: doneSignal means machine.Run collected
+// every rank.
+func runEntry(d *deriver, entry *framework.CGNode, args []val) (reachedRun bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			switch e := rec.(type) {
+			case doneSignal:
+				reachedRun, err = true, nil
+			case interpErr:
+				reachedRun, err = false, e
+			case missingNode:
+				reachedRun, err = false, e
+			default:
+				panic(rec)
+			}
+		}
+	}()
+	d.callNode(entry, nil, args, nil)
+	return false, nil
+}
+
+func logsEqual(a, b map[string][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -79,6 +79,13 @@ type Diagnostic struct {
 	// Trace is the counterexample interleaving exhibiting the violation,
 	// one scheduler event per entry; nil for local analyses.
 	Trace []string
+	// Formula states a symbolic-cost divergence: the derived polynomial
+	// versus the certified closed form ("derived ≠ expected"); empty for
+	// non-cost analyses.
+	Formula string
+	// Witness is a concrete parameter assignment under which Formula's two
+	// sides evaluate to different numbers; empty when Formula is.
+	Witness string
 }
 
 // Reportf records a finding at pos.
@@ -101,6 +108,19 @@ func (p *Pass) ReportTrace(pos token.Pos, world string, trace []string, format s
 		Message:  fmt.Sprintf(format, args...),
 		World:    world,
 		Trace:    trace,
+	})
+}
+
+// ReportFormula records a symbolic-cost finding: the diverging polynomials
+// and a concrete witness assignment separating them.
+func (p *Pass) ReportFormula(pos token.Pos, formula, witness string, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Formula:  formula,
+		Witness:  witness,
 	})
 }
 
@@ -331,8 +351,16 @@ func parseAllow(text string) []string {
 	if len(fields) == 0 {
 		return nil
 	}
+	// The name list may carry spaces after its commas ("allow accown,
+	// natalias rationale"): keep consuming fields while the accumulated
+	// list still ends in a comma, so the rationale proper starts at the
+	// first field that completes the list.
+	list := fields[0]
+	for i := 1; i < len(fields) && strings.HasSuffix(list, ","); i++ {
+		list += fields[i]
+	}
 	var names []string
-	for _, n := range strings.Split(fields[0], ",") {
+	for _, n := range strings.Split(list, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}

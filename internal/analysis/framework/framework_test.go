@@ -54,15 +54,18 @@ func loadStaleFixture(t *testing.T) *framework.Package {
 	return &framework.Package{Path: "stale", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
 }
 
-// TestAllowAudit: RunAll must flag the stale allow and the unknown-analyzer
-// allow, and leave the two live allows (line-anchored and func-doc) alone.
+// TestAllowAudit: RunAll must flag the stale allow, the unknown-analyzer
+// allow, and the unused half of the space-after-comma list (whose parsing
+// must not truncate at the space), and leave the live allows alone.
 func TestAllowAudit(t *testing.T) {
 	pkg := loadStaleFixture(t)
-	diags, err := framework.RunAll([]*framework.Analyzer{accown.Analyzer}, []*framework.Package{pkg})
+	diags, err := framework.RunAll(
+		[]*framework.Analyzer{accown.Analyzer, natalias.Analyzer},
+		[]*framework.Package{pkg})
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
-	var stale, unknown int
+	var stale, unknown, staleComma int
 	for _, d := range diags {
 		if d.Analyzer != "allowaudit" {
 			t.Errorf("non-audit finding leaked through a live allow: %s: %s", d.Position, d.Message)
@@ -73,12 +76,15 @@ func TestAllowAudit(t *testing.T) {
 			unknown++
 		case strings.Contains(d.Message, "stale ftlint:allow for \"accown\""):
 			stale++
+		case strings.Contains(d.Message, "stale ftlint:allow for \"natalias\""):
+			staleComma++
 		default:
 			t.Errorf("unexpected audit finding: %s: %s", d.Position, d.Message)
 		}
 	}
-	if unknown != 1 || stale != 1 {
-		t.Errorf("audit found %d unknown-analyzer and %d stale allows, want 1 and 1", unknown, stale)
+	if unknown != 1 || stale != 1 || staleComma != 1 {
+		t.Errorf("audit found %d unknown-analyzer, %d stale accown, %d stale natalias allows, want 1 each (the natalias one requires parsing past the comma's space)",
+			unknown, stale, staleComma)
 	}
 }
 

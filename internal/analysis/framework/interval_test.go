@@ -187,6 +187,37 @@ func reduce(u, p uint64) uint64 {
 	}
 }
 
+// TestIntervalNestedLoopNarrowing: widening the inner accumulator loop to ⊤
+// must not destroy the outer loop's exit-edge refinement — the reduction
+// variable still leaves the nest provably below p while the accumulator
+// soundly reports the full range.
+func TestIntervalNestedLoopNarrowing(t *testing.T) {
+	src := `package p
+func nested(u, p uint64) uint64 {
+	var s uint64
+	for u >= p {
+		u -= p
+		for i := 0; i < 8; i++ {
+			s += u
+		}
+	}
+	return s + u
+}`
+	const p = 97
+	pkg, fd, cfg, _, res := solveInterval(t, src, "nested", map[string]Interval{
+		"p": PointInterval(p),
+	}, nil)
+	env := factAtReturn(t, cfg, res)
+	gotS := localInterval(t, pkg, fd, env, "s")
+	if gotS.Lo != 0 || gotS.Hi != maxUint64 {
+		t.Errorf("inner accumulator s at return = %v, want widened [0, 2^64-1]", gotS)
+	}
+	gotU := localInterval(t, pkg, fd, env, "u")
+	if want := NewInterval(0, p-1); gotU != want {
+		t.Errorf("outer reduction u at return = %v, want narrowed %v", gotU, want)
+	}
+}
+
 func TestIntervalBranchRefinement(t *testing.T) {
 	src := `package p
 func f(x, lim uint64) (uint64, uint64) {

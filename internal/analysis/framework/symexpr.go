@@ -1,0 +1,421 @@
+// symexpr.go is the symbolic-expression layer under the costbound analyzer:
+// multivariate polynomials over non-negative symbolic parameters (group size
+// g, payload words W, processor count P, split number k, ...) extended with
+// the three shapes the paper's cost formulas need beyond polynomials —
+// ceiling logarithms (binomial-tree depths), ceiling divisions (grid block
+// sizes), and maxima (per-counter worst case over branch alternatives).
+//
+// Expressions are kept normalized as a sum of terms, each an integer
+// coefficient times a sorted product of atoms; an atom is a named variable
+// or a composite (log2c/ceildiv/max) over child expressions, identified by
+// its canonical rendering. Normalization makes Equal a structural check and
+// String stable, so derived cost polynomials can be compared and reported
+// deterministically.
+//
+// All variables are assumed non-negative (they are counts); that assumption
+// powers the Max simplification: max(a, b) collapses to a when every
+// coefficient of a-b is non-negative.
+package framework
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SymExpr is a normalized symbolic expression: Σ coeff·Π atoms. The zero
+// value is the constant 0.
+type SymExpr struct {
+	terms []symTerm // sorted by product key; no zero coefficients
+}
+
+type symTerm struct {
+	coeff int64
+	atoms []symAtom // sorted by key; products of repeated atoms allowed
+}
+
+type atomKind int
+
+const (
+	atomVar atomKind = iota
+	atomLog2c
+	atomCeilDiv
+	atomMax
+)
+
+type symAtom struct {
+	kind atomKind
+	name string    // atomVar
+	args []SymExpr // composite children
+	key  string    // canonical rendering, cached
+}
+
+func (a symAtom) render() string {
+	switch a.kind {
+	case atomVar:
+		return a.name
+	case atomLog2c:
+		return "log2c(" + a.args[0].String() + ")"
+	case atomCeilDiv:
+		return "ceildiv(" + a.args[0].String() + "," + a.args[1].String() + ")"
+	case atomMax:
+		parts := make([]string, len(a.args))
+		for i, e := range a.args {
+			parts[i] = e.String()
+		}
+		return "max(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}
+
+func newAtom(kind atomKind, name string, args ...SymExpr) symAtom {
+	a := symAtom{kind: kind, name: name, args: args}
+	a.key = a.render()
+	return a
+}
+
+// termKey is the canonical product identity of a term (atoms only).
+func termKey(atoms []symAtom) string {
+	keys := make([]string, len(atoms))
+	for i, a := range atoms {
+		keys[i] = a.key
+	}
+	return strings.Join(keys, "*")
+}
+
+// normalize sorts and merges raw terms into canonical form.
+func normalize(raw []symTerm) SymExpr {
+	merged := map[string]*symTerm{}
+	var order []string
+	for _, t := range raw {
+		if t.coeff == 0 {
+			continue
+		}
+		atoms := append([]symAtom(nil), t.atoms...)
+		sort.Slice(atoms, func(i, j int) bool { return atoms[i].key < atoms[j].key })
+		k := termKey(atoms)
+		if m, ok := merged[k]; ok {
+			m.coeff += t.coeff
+		} else {
+			merged[k] = &symTerm{coeff: t.coeff, atoms: atoms}
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+	var out []symTerm
+	for _, k := range order {
+		if merged[k].coeff != 0 {
+			out = append(out, *merged[k])
+		}
+	}
+	return SymExpr{terms: out}
+}
+
+// SymConst returns the constant expression c.
+func SymConst(c int64) SymExpr {
+	if c == 0 {
+		return SymExpr{}
+	}
+	return SymExpr{terms: []symTerm{{coeff: c}}}
+}
+
+// SymVar returns the variable expression named name.
+func SymVar(name string) SymExpr {
+	return SymExpr{terms: []symTerm{{coeff: 1, atoms: []symAtom{newAtom(atomVar, name)}}}}
+}
+
+// IsConst reports whether e is a constant, returning its value.
+func (e SymExpr) IsConst() (int64, bool) {
+	if len(e.terms) == 0 {
+		return 0, true
+	}
+	if len(e.terms) == 1 && len(e.terms[0].atoms) == 0 {
+		return e.terms[0].coeff, true
+	}
+	return 0, false
+}
+
+// IsZero reports whether e is the constant 0.
+func (e SymExpr) IsZero() bool { return len(e.terms) == 0 }
+
+// Add returns e + f.
+func (e SymExpr) Add(f SymExpr) SymExpr {
+	return normalize(append(append([]symTerm(nil), e.terms...), f.terms...))
+}
+
+// Sub returns e − f.
+func (e SymExpr) Sub(f SymExpr) SymExpr { return e.Add(f.Scale(-1)) }
+
+// Scale returns c·e.
+func (e SymExpr) Scale(c int64) SymExpr {
+	out := make([]symTerm, 0, len(e.terms))
+	for _, t := range e.terms {
+		out = append(out, symTerm{coeff: t.coeff * c, atoms: t.atoms})
+	}
+	return normalize(out)
+}
+
+// Mul returns e·f (polynomial product).
+func (e SymExpr) Mul(f SymExpr) SymExpr {
+	var out []symTerm
+	for _, a := range e.terms {
+		for _, b := range f.terms {
+			out = append(out, symTerm{
+				coeff: a.coeff * b.coeff,
+				atoms: append(append([]symAtom(nil), a.atoms...), b.atoms...),
+			})
+		}
+	}
+	return normalize(out)
+}
+
+// SymLog2Ceil returns ⌈log₂ e⌉ (0 for e ≤ 1), folding constants.
+func SymLog2Ceil(e SymExpr) SymExpr {
+	if c, ok := e.IsConst(); ok {
+		return SymConst(log2ceil64(c))
+	}
+	return SymExpr{terms: []symTerm{{coeff: 1, atoms: []symAtom{newAtom(atomLog2c, "", e)}}}}
+}
+
+// SymCeilDiv returns ⌈a/b⌉, folding constants and exact monomial divisions.
+func SymCeilDiv(a, b SymExpr) SymExpr {
+	if a.IsZero() {
+		return SymExpr{}
+	}
+	if bc, ok := b.IsConst(); ok {
+		if bc == 1 {
+			return a
+		}
+		if ac, aok := a.IsConst(); aok && bc > 0 {
+			return SymConst((ac + bc - 1) / bc)
+		}
+		// Exact coefficient division keeps the polynomial closed.
+		if bc > 0 {
+			exact := true
+			for _, t := range a.terms {
+				if t.coeff%bc != 0 {
+					exact = false
+					break
+				}
+			}
+			if exact {
+				out := make([]symTerm, 0, len(a.terms))
+				for _, t := range a.terms {
+					out = append(out, symTerm{coeff: t.coeff / bc, atoms: t.atoms})
+				}
+				return normalize(out)
+			}
+		}
+	}
+	return SymExpr{terms: []symTerm{{coeff: 1, atoms: []symAtom{newAtom(atomCeilDiv, "", a, b)}}}}
+}
+
+// GE reports whether e ≥ f holds for every non-negative assignment — true
+// only when every coefficient of e−f is non-negative (a sound, incomplete
+// test).
+func (e SymExpr) GE(f SymExpr) bool {
+	d := e.Sub(f)
+	for _, t := range d.terms {
+		if t.coeff < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// shiftVarsMin1 substitutes every variable v by v'+1, the change of basis
+// for domination tests under the assumption that all parameters are at
+// least 1 (they are counts: group sizes, word counts, processor counts).
+// Composite atoms are left in place — they are non-negative and cancel
+// between the two sides of a comparison only when structurally identical,
+// which is sound.
+func (e SymExpr) shiftVarsMin1() SymExpr {
+	out := SymConst(0)
+	for _, t := range e.terms {
+		f := SymConst(t.coeff)
+		for _, a := range t.atoms {
+			if a.kind == atomVar {
+				f = f.Mul(SymVar(a.name).Add(SymConst(1)))
+			} else {
+				f = f.Mul(SymExpr{terms: []symTerm{{coeff: 1, atoms: []symAtom{a}}}})
+			}
+		}
+		out = out.Add(f)
+	}
+	return out
+}
+
+// GEMin1 reports whether e ≥ f holds for every assignment with all
+// variables ≥ 1 (sound, incomplete).
+func GEMin1(e, f SymExpr) bool {
+	d := e.Sub(f).shiftVarsMin1()
+	for _, t := range d.terms {
+		if t.coeff < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SymMaxMin1 is SymMax under the all-variables-≥-1 assumption, collapsing
+// strictly more maxima (e.g. max(W, 1) = W).
+func SymMaxMin1(e, f SymExpr) SymExpr {
+	if GEMin1(e, f) {
+		return e
+	}
+	if GEMin1(f, e) {
+		return f
+	}
+	return SymMax(e, f)
+}
+
+// SymMax returns max(e, f), collapsing when one side dominates.
+func SymMax(e, f SymExpr) SymExpr {
+	if e.GE(f) {
+		return e
+	}
+	if f.GE(e) {
+		return f
+	}
+	// Flatten nested maxima for a canonical argument list.
+	var args []SymExpr
+	for _, x := range []SymExpr{e, f} {
+		if len(x.terms) == 1 && x.terms[0].coeff == 1 && len(x.terms[0].atoms) == 1 && x.terms[0].atoms[0].kind == atomMax {
+			args = append(args, x.terms[0].atoms[0].args...)
+		} else {
+			args = append(args, x)
+		}
+	}
+	sort.Slice(args, func(i, j int) bool { return args[i].String() < args[j].String() })
+	return SymExpr{terms: []symTerm{{coeff: 1, atoms: []symAtom{newAtom(atomMax, "", args...)}}}}
+}
+
+// Equal reports structural equality of the normalized forms.
+func (e SymExpr) Equal(f SymExpr) bool { return e.String() == f.String() }
+
+// String renders the canonical form ("2*W*log2c(g) + W"; "0" when zero).
+func (e SymExpr) String() string {
+	if len(e.terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, 0, len(e.terms))
+	for _, t := range e.terms {
+		var b strings.Builder
+		if len(t.atoms) == 0 {
+			fmt.Fprintf(&b, "%d", t.coeff)
+		} else {
+			if t.coeff == -1 {
+				b.WriteString("-")
+			} else if t.coeff != 1 {
+				fmt.Fprintf(&b, "%d*", t.coeff)
+			}
+			for i, a := range t.atoms {
+				if i > 0 {
+					b.WriteString("*")
+				}
+				b.WriteString(a.key)
+			}
+		}
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Vars returns the sorted set of variable names appearing in e.
+func (e SymExpr) Vars() []string {
+	seen := map[string]bool{}
+	var walk func(SymExpr)
+	walk = func(x SymExpr) {
+		for _, t := range x.terms {
+			for _, a := range t.atoms {
+				if a.kind == atomVar {
+					seen[a.name] = true
+					continue
+				}
+				for _, c := range a.args {
+					walk(c)
+				}
+			}
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates e under the assignment env; every variable must be bound.
+func (e SymExpr) Eval(env map[string]int64) (int64, error) {
+	var total int64
+	for _, t := range e.terms {
+		v := t.coeff
+		for _, a := range t.atoms {
+			av, err := a.eval(env)
+			if err != nil {
+				return 0, err
+			}
+			v *= av
+		}
+		total += v
+	}
+	return total, nil
+}
+
+func (a symAtom) eval(env map[string]int64) (int64, error) {
+	switch a.kind {
+	case atomVar:
+		v, ok := env[a.name]
+		if !ok {
+			return 0, fmt.Errorf("symexpr: unbound variable %q", a.name)
+		}
+		return v, nil
+	case atomLog2c:
+		v, err := a.args[0].Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return log2ceil64(v), nil
+	case atomCeilDiv:
+		x, err := a.args[0].Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := a.args[1].Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if y <= 0 {
+			return 0, fmt.Errorf("symexpr: ceildiv by %d", y)
+		}
+		return (x + y - 1) / y, nil
+	case atomMax:
+		best := int64(0)
+		for i, c := range a.args {
+			v, err := c.Eval(env)
+			if err != nil {
+				return 0, err
+			}
+			if i == 0 || v > best {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return 0, fmt.Errorf("symexpr: unknown atom")
+}
+
+// log2ceil64 is ⌈log₂ v⌉ for v ≥ 2, and 0 for v ≤ 1 (the empty binomial
+// tree: a group of one communicates with nobody).
+func log2ceil64(v int64) int64 {
+	if v <= 1 {
+		return 0
+	}
+	var l int64
+	for x := int64(1); x < v; x <<= 1 {
+		l++
+	}
+	return l
+}

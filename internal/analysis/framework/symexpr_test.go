@@ -1,0 +1,97 @@
+package framework
+
+import "testing"
+
+func TestSymExprNormalization(t *testing.T) {
+	g, w := SymVar("g"), SymVar("W")
+	// (g + W)·(g − W) normalizes to g² − W² with the cross terms cancelled.
+	e := g.Add(w).Mul(g.Sub(w))
+	if got := e.String(); got != "-W*W + g*g" {
+		t.Errorf("(g+W)(g-W) = %q", got)
+	}
+	// Addition is order-insensitive after normalization.
+	if a, b := w.Add(g), g.Add(w); !a.Equal(b) {
+		t.Errorf("g+W %q != W+g %q", b, a)
+	}
+	// Scaling to zero erases terms entirely.
+	if !g.Scale(0).IsZero() {
+		t.Errorf("0·g should be zero")
+	}
+	if c, ok := SymConst(7).Add(SymConst(-7)).IsConst(); !ok || c != 0 {
+		t.Errorf("7-7 = %v %v", c, ok)
+	}
+}
+
+func TestSymExprLogAndCeilDiv(t *testing.T) {
+	g := SymVar("g")
+	// Constants fold: ⌈log₂ 5⌉ = 3, ⌈log₂ 1⌉ = 0.
+	if c, ok := SymLog2Ceil(SymConst(5)).IsConst(); !ok || c != 3 {
+		t.Errorf("log2c(5) = %v %v", c, ok)
+	}
+	if !SymLog2Ceil(SymConst(1)).IsZero() {
+		t.Errorf("log2c(1) should be 0")
+	}
+	// Symbolic logs render canonically and evaluate.
+	lg := SymLog2Ceil(g)
+	if got := lg.String(); got != "log2c(g)" {
+		t.Errorf("log2c(g) renders %q", got)
+	}
+	v, err := lg.Eval(map[string]int64{"g": 9})
+	if err != nil || v != 4 {
+		t.Errorf("log2c(9) = %d, %v", v, err)
+	}
+	// Exact coefficient division stays polynomial; inexact stays symbolic.
+	if got := SymCeilDiv(g.Scale(6), SymConst(3)).String(); got != "2*g" {
+		t.Errorf("6g/3 = %q", got)
+	}
+	cd := SymCeilDiv(g, SymConst(2))
+	if got := cd.String(); got != "ceildiv(g,2)" {
+		t.Errorf("⌈g/2⌉ renders %q", got)
+	}
+	v, err = cd.Eval(map[string]int64{"g": 5})
+	if err != nil || v != 3 {
+		t.Errorf("⌈5/2⌉ = %d, %v", v, err)
+	}
+}
+
+func TestSymExprMaxAndDomination(t *testing.T) {
+	g, w := SymVar("g"), SymVar("W")
+	// Coefficient-wise domination collapses the max.
+	if got := SymMax(g.Scale(2), g); !got.Equal(g.Scale(2)) {
+		t.Errorf("max(2g, g) = %q", got)
+	}
+	// Incomparable arguments keep a canonical (sorted) max atom.
+	m := SymMax(w, g)
+	if got := m.String(); got != "max(W,g)" {
+		t.Errorf("max(W,g) renders %q", got)
+	}
+	if !m.Equal(SymMax(g, w)) {
+		t.Errorf("max should be commutative after canonicalization")
+	}
+	v, err := m.Eval(map[string]int64{"g": 3, "W": 8})
+	if err != nil || v != 8 {
+		t.Errorf("max(8,3) = %d, %v", v, err)
+	}
+	// The ≥1 basis shift proves W ≥ 1 and hence max(W, 1) = W, which the
+	// plain non-negative test cannot (W could be 0 there).
+	if SymMax(w, SymConst(1)).Equal(w) {
+		t.Errorf("plain max must not assume W >= 1")
+	}
+	if got := SymMaxMin1(w, SymConst(1)); !got.Equal(w) {
+		t.Errorf("max(W,1) under W>=1 = %q", got)
+	}
+	if !GEMin1(w.Mul(g), w) || GEMin1(w, w.Mul(g)) {
+		t.Errorf("W·g >= W should hold (and not conversely) for g >= 1")
+	}
+}
+
+func TestSymExprVarsAndUnbound(t *testing.T) {
+	g, w := SymVar("g"), SymVar("W")
+	e := w.Mul(SymLog2Ceil(g)).Add(SymConst(4))
+	if got := e.Vars(); len(got) != 2 || got[0] != "W" || got[1] != "g" {
+		t.Errorf("Vars = %v", got)
+	}
+	if _, err := e.Eval(map[string]int64{"W": 1}); err == nil {
+		t.Errorf("expected unbound-variable error for g")
+	}
+}

@@ -48,3 +48,14 @@ func docAllow(x Int) {
 	b := NewAcc()
 	b.Add(x)
 }
+
+// commaList's allow names two analyzers with a space after the comma. Both
+// names must parse: the accown leak below stays suppressed, and the natalias
+// entry — which suppresses nothing — must surface as stale instead of being
+// swallowed into the rationale.
+func commaList(x Int) Int {
+	//ftlint:allow accown, natalias fixture: list with a space after the comma
+	acc := NewAcc()
+	acc.Add(x)
+	return acc.Take()
+}
