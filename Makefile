@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson benchgate caltune fuzz lint lint-json fuzz-smoke wallsmoke ci
+.PHONY: build test race vet bench benchjson benchgate caltune fuzz lint lint-json fuzz-smoke wallsmoke examples matsmoke ci
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ bench:
 
 # Regenerate the committed benchmark snapshot for the current PR (the
 # BENCH_PR*.json trajectory is append-only; see cmd/benchjson).
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 benchjson:
 	$(GO) run ./cmd/benchjson -count 3 -out $(BENCH_OUT)
 
@@ -63,6 +63,23 @@ wallsmoke:
 	$(GO) test -run 'Wall|Backends|StragglerDropped' ./internal/machine/... ./internal/crosscheck ./internal/ftparallel
 	$(GO) run ./cmd/ftmul -bits 16384 -algo ft -k 2 -P 9 -f 1 -fault 4:mul -backend wall -q
 
+# Every runnable example, in dependency order: the integer tier's three, then
+# matstorm's fault-tolerant Strassen matmul under random fail-stop plans
+# (verified element-wise against the naive O(n^3) product). CI's Examples
+# step runs exactly this target.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/faultstorm
+	$(GO) run ./examples/stragglers
+	$(GO) run ./examples/matstorm
+
+# Matrix-tier smoke: the exhaustive single-fail-stop crosscheck over both
+# backends, then the Table-1-style matrix cost table on each backend.
+matsmoke:
+	$(GO) test ./internal/mat ./internal/ftmatmul
+	$(GO) run ./cmd/experiments -algo matmul -backend sim
+	$(GO) run ./cmd/experiments -algo matmul -backend wall
+
 # Short fuzz pass over the bigint kernels (seed corpus always runs in `make test`).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNatMul -fuzztime 10s ./internal/bigint
@@ -73,4 +90,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzNatMul -fuzztime 10s ./internal/bigint
 
 # ci mirrors .github/workflows/ci.yml locally: everything a PR must pass.
-ci: build test vet race fuzz-smoke wallsmoke lint
+ci: build test vet race fuzz-smoke wallsmoke matsmoke examples lint

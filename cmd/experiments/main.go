@@ -63,11 +63,23 @@ func mcfg(c machine.Config) machine.Config {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, figure1, figure2, figure3, headline, memory, ablation, softfault, scaling, stragglers, phases, crossover, all")
+	algo := flag.String("algo", "toom", "algorithm family: toom (the integer experiments above) or matmul (the matrix F/BW/L table)")
 	bits := flag.Int("bits", 1<<16, "operand size in bits")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	backend := flag.String("backend", "sim", "machine backend: sim (virtual clock, modeled time) or wall (wall clock, real time)")
 	flag.Parse()
 	expBackend = machine.Backend(*backend)
+
+	if *algo == "matmul" {
+		if err := matmulTable(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "matmul: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	} else if *algo != "toom" {
+		fmt.Fprintf(os.Stderr, "unknown -algo %q (want toom or matmul)\n", *algo)
+		os.Exit(1)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	a := bigint.Random(rng, *bits)

@@ -47,7 +47,7 @@ var Analyzer = &framework.Analyzer{
 // (internal/machine/{transport,simnet,wallnet,costacct,faultinject}); the
 // backends are also listed by name so single-segment fixture packages fall
 // in scope.
-var governed = []string{"machine", "collective", "ftparallel", "transport", "simnet", "wallnet"}
+var governed = []string{"machine", "collective", "ftengine", "ftparallel", "ftmatmul", "transport", "simnet", "wallnet"}
 
 // procComm maps Proc method names to the argument index of their tag, for
 // the methods that move messages. The tag is always the second argument.

@@ -27,6 +27,8 @@ var interpretPkgs = map[string]bool{
 	"collective": true,
 	"parallel":   true,
 	"ftparallel": true,
+	"ftengine":   true,
+	"ftmatmul":   true,
 }
 
 // contractRecvTypes are receiver type names whose methods are modeled by
@@ -110,6 +112,16 @@ func (d *deriver) dispatch(fn *types.Func, recvV *val, args []val, call *ast.Cal
 		}
 		if n := d.sums.Graph.Nodes[framework.FuncKey(fn)]; n != nil && !opaquePkg(pkgName) {
 			return d.callNode(n, recvV, args, call)
+		}
+		// Interface method: devirtualize against the dynamic struct value's
+		// declared method set (the engine's Workload seam). The struct value
+		// records its named type's package, so the concrete method key is
+		// reconstructible without a points-to analysis.
+		if types.IsInterface(sig.Recv().Type()) && recvV != nil && recvV.k == kStruct && recvV.st.pkg != "" {
+			dkey := recvV.st.pkg + "." + recvV.st.typ + "." + fn.Name()
+			if n := d.sums.Graph.Nodes[dkey]; n != nil {
+				return d.callNode(n, recvV, args, call)
+			}
 		}
 		if interpretPkgs[pkgName] {
 			panic(missingNode{key: framework.FuncKey(fn)})

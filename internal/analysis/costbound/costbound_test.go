@@ -31,7 +31,8 @@ func TestCollectiveDirty(t *testing.T) {
 func loadTree(t *testing.T) ([]*framework.Package, *framework.Summaries) {
 	t.Helper()
 	pkgs, err := framework.LoadCached("../../..",
-		"./internal/collective", "./internal/parallel", "./internal/ftparallel")
+		"./internal/collective", "./internal/parallel", "./internal/ftparallel",
+		"./internal/ftengine")
 	if err != nil {
 		t.Fatalf("loading certification targets: %v", err)
 	}

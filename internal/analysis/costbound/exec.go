@@ -1258,6 +1258,7 @@ func (d *deriver) evalComposite(x *ast.CompositeLit, sc *scope) val {
 	switch u := t.Underlying().(type) {
 	case *types.Struct:
 		sv := structV(framework.NamedTypeName(t))
+		sv.st.pkg = namedTypePkgPath(t)
 		for i := 0; i < u.NumFields(); i++ {
 			sv.st.fields[u.Field(i).Name()] = zeroVal(u.Field(i).Type())
 		}

@@ -40,6 +40,7 @@ const (
 
 type structVal struct {
 	typ    string
+	pkg    string // package path of the named type; "" for synthetic structs
 	fields map[string]val
 }
 
@@ -87,6 +88,20 @@ func tupleVal(elems ...val) val       { return val{k: kTuple, elems: elems} }
 func procVal(rank int64) val          { return val{k: kProc, rank: rank} }
 func structV(typ string) val {
 	return val{k: kStruct, st: &structVal{typ: typ, fields: map[string]val{}}}
+}
+
+// namedTypePkgPath reports the package path behind a (possibly pointer-to)
+// named type, so interface method calls can be devirtualized against the
+// dynamic struct value's declared methods. Unnamed and universe types yield
+// the empty string.
+func namedTypePkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj() != nil && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
 }
 
 // constInt extracts a concrete integer, panicking into the unmodeled path
@@ -249,6 +264,7 @@ func zeroVal(t types.Type) val {
 	case *types.Struct:
 		name := framework.NamedTypeName(t)
 		sv := structV(name)
+		sv.st.pkg = namedTypePkgPath(t)
 		for i := 0; i < u.NumFields(); i++ {
 			sv.st.fields[u.Field(i).Name()] = zeroVal(u.Field(i).Type())
 		}

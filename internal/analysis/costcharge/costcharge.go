@@ -45,7 +45,7 @@ var Analyzer = &framework.Analyzer{
 }
 
 // governed lists the package path segments under the cost-accounting rule.
-var governed = []string{"toom", "parallel", "ftparallel"}
+var governed = []string{"toom", "parallel", "ftengine", "ftparallel", "ftmatmul"}
 
 // arithMethods lists the limb-arithmetic methods per receiver type name.
 var arithMethods = map[string]map[string]bool{
@@ -80,9 +80,49 @@ func run(pass *framework.Pass) error {
 		if !fd.Name.IsExported() {
 			return
 		}
+		if isWorkloadHostHook(pass, fd) {
+			return
+		}
 		checkFunc(pass, fd)
 	})
 	return nil
+}
+
+// isWorkloadHostHook exempts the ftengine.Workload read-out hooks: Decode and
+// Recombine run host-side after machine.Run collects every rank, and the
+// theorems do not charge result reassembly to the processors (the same rule
+// the parallel tier's host-side assembly documents). The exemption is proved,
+// not pattern-matched: the receiver type must implement the engine's Workload
+// interface. Shard and Step stay fully governed — Step holds the *Proc.
+func isWorkloadHostHook(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || (fd.Name.Name != "Decode" && fd.Name.Name != "Recombine") {
+		return false
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if !framework.PathHasSegment(imp.Path(), "ftengine") {
+			continue
+		}
+		obj := imp.Scope().Lookup("Workload")
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		if types.Implements(sig.Recv().Type(), iface) {
+			return true
+		}
+	}
+	return false
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {

@@ -739,7 +739,7 @@ func kernelCallKey(kc KernelCall) string {
 func (s *Summaries) markFTReach() {
 	var stack []*Summary
 	for _, sum := range s.byKey {
-		if PathHasSegment(sum.PkgPath, "ftparallel") && !sum.FTReach {
+		if (PathHasSegment(sum.PkgPath, "ftparallel") || PathHasSegment(sum.PkgPath, "ftengine") || PathHasSegment(sum.PkgPath, "ftmatmul")) && !sum.FTReach {
 			sum.FTReach = true
 			stack = append(stack, sum)
 		}

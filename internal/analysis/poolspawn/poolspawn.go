@@ -30,7 +30,7 @@ var Analyzer = &framework.Analyzer{
 // (internal/machine/{transport,simnet,wallnet,costacct,faultinject}), but
 // the backend packages are listed by name too so fixture packages — whose
 // synthetic import paths are a single segment — exercise the rule.
-var governed = []string{"toom", "parallel", "ftparallel", "machine", "simnet", "wallnet", "bigint", "workpool", "caltune"}
+var governed = []string{"toom", "parallel", "ftengine", "ftparallel", "ftmatmul", "machine", "simnet", "wallnet", "bigint", "workpool", "caltune"}
 
 func run(pass *framework.Pass) error {
 	target := false

@@ -8,6 +8,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"repro/internal/analysis/framework"
 )
 
 func (in *interp) evalCall(fr *frame, call *ast.CallExpr) []Value {
@@ -78,6 +80,20 @@ func (in *interp) callNamed(fr *frame, call *ast.CallExpr, recv Value) []Value {
 	}
 	if node := in.interpretedCallee(fr, call); node != nil {
 		return in.callDecl(node, recv, in.evalArgs(fr, call), call.Pos())
+	}
+	// Interface method: devirtualize against the dynamic struct value's
+	// declared method set (the engine's Workload seam). The StructVal records
+	// its named type's package, so the concrete method node is recoverable
+	// without a points-to analysis.
+	if fn := framework.CalleeFunc(fr.pkg.Info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			if sv, ok := recv.(*StructVal); ok && sv.PkgPath != "" {
+				dkey := sv.PkgPath + "." + sv.Type + "." + fn.Name()
+				if node := in.sums.Graph.Nodes[dkey]; node != nil && !nativeBridgedPkg(node.Pkg.Path) {
+					return in.callDecl(node, recv, in.evalArgs(fr, call), call.Pos())
+				}
+			}
+		}
 	}
 	return in.nativeCall(fr, key, recv, call)
 }

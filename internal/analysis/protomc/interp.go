@@ -1330,7 +1330,7 @@ func (in *interp) evalComposite(fr *frame, x *ast.CompositeLit) Value {
 		return m
 
 	case *types.Struct:
-		sv := &StructVal{Type: framework.NamedTypeName(t), Fields: map[string]Value{}}
+		sv := &StructVal{Type: framework.NamedTypeName(t), PkgPath: namedTypePkgPath(t), Fields: map[string]Value{}}
 		for i, el := range x.Elts {
 			if kv, ok := el.(*ast.KeyValueExpr); ok {
 				sv.Fields[kv.Key.(*ast.Ident).Name] = in.evalExpr(fr, kv.Value)
@@ -1345,6 +1345,19 @@ func (in *interp) evalComposite(fr *frame, x *ast.CompositeLit) Value {
 }
 
 // ---- typed zeros and coercions ----
+
+// namedTypePkgPath reports the package path behind a (possibly pointer-to)
+// named type, enabling interface-method devirtualization on StructVals.
+// Unnamed and universe types yield the empty string.
+func namedTypePkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj() != nil && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
+}
 
 func (in *interp) zeroValue(t types.Type, pos token.Pos) Value {
 	if t == nil {
@@ -1371,7 +1384,7 @@ func (in *interp) zeroValue(t types.Type, pos token.Pos) Value {
 		if framework.NamedTypeName(t) == "Int" {
 			return opaqueOf(0)
 		}
-		sv := &StructVal{Type: framework.NamedTypeName(t), Fields: map[string]Value{}}
+		sv := &StructVal{Type: framework.NamedTypeName(t), PkgPath: namedTypePkgPath(t), Fields: map[string]Value{}}
 		for i := 0; i < u.NumFields(); i++ {
 			sv.Fields[u.Field(i).Name()] = in.zeroValue(u.Field(i).Type(), pos)
 		}

@@ -98,12 +98,13 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// inScope: the collective and ftparallel packages, plus any package that
-// declares its own Proc type (analysis fixtures use local stand-ins; the
-// real machine package also declares Proc but is excluded above as a model
-// boundary).
+// inScope: the collective, ftengine, and ftparallel packages, plus any
+// package that declares its own Proc type (analysis fixtures use local
+// stand-ins; the real machine package also declares Proc but is excluded
+// above as a model boundary).
 func inScope(pass *framework.Pass) bool {
 	if framework.PathHasSegment(pass.Path, "collective") ||
+		framework.PathHasSegment(pass.Path, "ftengine") ||
 		framework.PathHasSegment(pass.Path, "ftparallel") {
 		return true
 	}

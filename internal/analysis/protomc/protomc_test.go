@@ -25,7 +25,8 @@ func TestBadRecoverFixture(t *testing.T)      { analysistest.Run(t, Analyzer, "b
 // plan the F=1 layout tolerates — with zero suppressions.
 func TestRealTreeClean(t *testing.T) {
 	pkgs, err := framework.LoadCached("../../..",
-		"./internal/collective", "./internal/ftparallel", "./internal/parallel")
+		"./internal/collective", "./internal/ftparallel", "./internal/parallel",
+		"./internal/ftengine")
 	if err != nil {
 		t.Fatalf("loading real tree: %v", err)
 	}

@@ -85,9 +85,13 @@ type mapEntry struct {
 
 // StructVal is a struct or pointer-to-struct; the interpreter gives structs
 // reference semantics (the modeled code never mutates a by-value copy).
+// PkgPath records the named type's package, letting interface method calls
+// devirtualize against the dynamic type's declared methods (the engine's
+// Workload seam); synthetic structs leave it empty.
 type StructVal struct {
-	Type   string
-	Fields map[string]Value
+	Type    string
+	PkgPath string
+	Fields  map[string]Value
 }
 
 // TupleVal carries a multi-value result between call and assignment.
@@ -252,7 +256,7 @@ func copyPayload(v Value) Value {
 		for k, e := range x.Fields {
 			f[k] = copyPayload(e)
 		}
-		return &StructVal{Type: x.Type, Fields: f}
+		return &StructVal{Type: x.Type, PkgPath: x.PkgPath, Fields: f}
 	default:
 		return v
 	}

@@ -291,11 +291,12 @@ var engineVariants = []engineVariant{
 	{ldfs: 0, straggler: true},
 }
 
-// engineWorlds instantiates the ftparallel engine run for each variant.
+// engineWorlds instantiates the generic engine's SPMD body, loaded with the
+// Toom workload exactly as ftparallel.Multiply builds it, for each variant.
 // Returns nothing when the pass's package is not the engine's (the key
 // gate below fails for fixtures and for the collective package).
 func engineWorlds(pass *framework.Pass, sums *framework.Summaries, skels *framework.SkeletonSet) ([]*world, []instError) {
-	runKey := pass.Path + ".engine.run"
+	runKey := pass.Path + ".exec.runRank"
 	runNode := sums.Graph.Nodes[runKey]
 	if runNode == nil || runNode.Pkg.Path != pass.Path {
 		return nil, nil
@@ -317,11 +318,18 @@ func engineWorlds(pass *framework.Pass, sums *framework.Summaries, skels *framew
 	return worlds, errs
 }
 
+// toomPkg is the package whose Workload instantiation loads the engine
+// worlds: the engine itself lives in pkg (ftengine), the workload methods
+// and the denominator-LCM constructor in the Toom tier.
+const toomPkg = "repro/internal/ftparallel"
+
 // buildEngineWorld mirrors ftparallel.Multiply's construction for
 // P=3, k=2, F=1 and the variant's DFS depth: layout and denominator LCM via
 // the host interpreter, algorithm/points/matrices/code via the native
 // bridge, operand digit shares as opaque vectors in the plan's cyclic
-// layout.
+// layout. The entry is the generic engine's per-rank body with the Toom
+// workload behind its Workload interface — the same seam the production
+// Run crosses — so the model exercises the devirtualized dispatch too.
 func buildEngineWorld(pkg string, sums *framework.Summaries, skels *framework.SkeletonSet, runNode *framework.CGNode, v engineVariant) (*world, error) {
 	const (
 		p, k, f = 3, 2, 1
@@ -384,7 +392,7 @@ func buildEngineWorld(pkg string, sums *framework.Summaries, skels *framework.Sk
 		}
 		return &SliceVal{Elems: qs}
 	}
-	plan := &StructVal{Type: "Plan", Fields: map[string]Value{
+	plan := &StructVal{Type: "Plan", PkgPath: "repro/internal/parallel", Fields: map[string]Value{
 		"alg":     NativeVal{V: alg},
 		"k":       knownInt(k),
 		"p":       knownInt(p),
@@ -399,11 +407,10 @@ func buildEngineWorld(pkg string, sums *framework.Summaries, skels *framework.Sk
 		"sharesA": shares(),
 		"sharesB": shares(),
 	}}
-	eng := &StructVal{Type: "engine", Fields: map[string]Value{
+	eng := &StructVal{Type: "engine", PkgPath: toomPkg, Fields: map[string]Value{
 		"lay":            lay,
 		"plan":           plan,
 		"alg":            NativeVal{V: alg},
-		"code":           NativeVal{V: code},
 		"pts":            fromNative(reflect.ValueOf(pts), runNode.Decl.Pos()),
 		"uExt":           fromNative(reflect.ValueOf(uExt), runNode.Decl.Pos()),
 		"ldfs":           knownInt(int64(v.ldfs)),
@@ -415,13 +422,33 @@ func buildEngineWorld(pkg string, sums *framework.Summaries, skels *framework.Sk
 		"wCache":         newMap(),
 		"denLCM":         knownInt(0),
 	}}
-	lcmOut, err := hostCall(sums, skels, pkg+".engine.computeDenLCM", eng, nil)
+	lcmOut, err := hostCall(sums, skels, toomPkg+".engine.computeDenLCM", eng, nil)
 	if err != nil {
 		return nil, err
 	}
 	if msg := hostErr(lcmOut); msg != "" {
 		return nil, fmt.Errorf("computeDenLCM: %s", msg)
 	}
+
+	// The Coder and exec mirror what NewCoder and Run build: the per-worker
+	// coded vector length and the per-processor product share length follow
+	// inputVecLen/productShareLen on the instantiated shape.
+	kPow := 1
+	for i := 0; i < v.ldfs; i++ {
+		kPow *= k
+	}
+	coder := &StructVal{Type: "Coder", PkgPath: pkg, Fields: map[string]Value{
+		"lay":     lay,
+		"code":    NativeVal{V: code},
+		"dataLen": knownInt(int64(2 * digits / p)),
+		"prodLen": knownInt(int64(2 * (digits / kPow) / (k * int(gp.V)))),
+	}}
+	ex := &StructVal{Type: "exec", PkgPath: pkg, Fields: map[string]Value{
+		"wl":             eng,
+		"lay":            lay,
+		"coder":          coder,
+		"dropStragglers": knownBool(v.straggler),
+	}}
 
 	name := fmt.Sprintf("ftparallel.Multiply P=%d k=%d F=%d ldfs=%d", p, k, f, v.ldfs)
 	if v.straggler {
@@ -438,7 +465,7 @@ func buildEngineWorld(pkg string, sums *framework.Summaries, skels *framework.Sk
 		// answer on time — a legitimate exit, not a finding.
 		faultTolerant: !v.straggler,
 		run: func(in *interp, mp *modelProc) Value {
-			out := in.callDecl(runNode, eng, []Value{ProcVal{mp: mp}}, runNode.Decl.Pos())
+			out := in.callDecl(runNode, ex, []Value{ProcVal{mp: mp}}, runNode.Decl.Pos())
 			if len(out) == 0 {
 				return NilVal{}
 			}

@@ -40,7 +40,7 @@ var Analyzer = &framework.Analyzer{
 
 // governed mirrors chanproto: the packages whose traffic follows the
 // simulator protocol, plus the transport backends by name.
-var governed = []string{"machine", "collective", "ftparallel", "transport", "simnet", "wallnet"}
+var governed = []string{"machine", "collective", "ftengine", "ftparallel", "ftmatmul", "transport", "simnet", "wallnet"}
 
 // comm maps method names to the argument index carrying the tag (or phase).
 var comm = map[string]int{

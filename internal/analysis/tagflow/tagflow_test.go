@@ -20,7 +20,7 @@ func TestTagFlowSymbolicSendsSilent(t *testing.T) {
 // The real tree's tags are parameter-derived and its barriers straight-line
 // (or error-guarded without an else), so tagflow must stay silent on it.
 func TestTagFlowRealTree(t *testing.T) {
-	pkgs, err := framework.LoadCached("../../..", "./internal/machine/...", "./internal/collective", "./internal/ftparallel")
+	pkgs, err := framework.LoadCached("../../..", "./internal/machine/...", "./internal/collective", "./internal/ftparallel", "./internal/ftengine")
 	if err != nil {
 		t.Fatalf("loading governed packages: %v", err)
 	}

@@ -159,7 +159,8 @@ func TestWorldCostsMatchRuntime(t *testing.T) {
 // agreement explicit rather than transitive across test suites.
 func TestWorldDerivationMatchesTable(t *testing.T) {
 	pkgs, err := framework.LoadCached("../..",
-		"./internal/collective", "./internal/parallel", "./internal/ftparallel")
+		"./internal/collective", "./internal/parallel", "./internal/ftparallel",
+		"./internal/ftengine")
 	if err != nil {
 		t.Fatalf("loading tiers: %v", err)
 	}

@@ -1,4 +1,4 @@
-package ftparallel
+package ftengine
 
 import (
 	"fmt"
@@ -6,18 +6,70 @@ import (
 
 	"repro/internal/bigint"
 	"repro/internal/collective"
+	"repro/internal/erasure"
 	"repro/internal/machine"
 	"repro/internal/mat"
 	"repro/internal/rat"
 )
 
-// procCtx is the per-processor durable context: the data the linear code
-// protects. On a fault the victim's copy is conceptually lost; recovery
-// protocols restore it (and charge the restoration).
-type procCtx struct {
-	topA, topB []bigint.Int // workers: top-level input shares
-	topCode    []bigint.Int // linear-code processors: encoded column inputs
+// Ctx is the per-processor durable context: the data the linear code
+// protects. On a fault the victim's copy is conceptually lost; the Coder's
+// recovery protocols restore it (and charge the restoration).
+type Ctx struct {
+	// Data is the rank's coded shard (workers; nil on code processors).
+	Data []bigint.Int
+	// Code is the encoded column vector (linear-code processors only).
+	Code []bigint.Int
 }
+
+// Coder runs the Section 4.1 linear-erasure protocols over a Layout's grid:
+// Vandermonde-weighted column encoding, residual-reduce recovery of lost
+// shards, and re-encoding of dead code processors. It is payload-agnostic —
+// shards are flat []bigint.Int vectors, whatever the Workload packed into
+// them. A nil erasure code (f = 0) degrades every operation to a no-op while
+// Protect still crosses the evaluation barrier, preserving the fault-free
+// phase structure.
+type Coder struct {
+	lay  Layout
+	code *erasure.Code
+	// dataLen is the flat length of every worker's input shard; prodLen the
+	// flat length of the per-rank product share the mid-step re-encoding
+	// protects. Code processors use them to size their zero contributions.
+	dataLen, prodLen int
+}
+
+// NewCoder builds a Coder for the layout. code may be nil when f = 0.
+func NewCoder(lay Layout, code *erasure.Code, dataLen, prodLen int) *Coder {
+	return &Coder{lay: lay, code: code, dataLen: dataLen, prodLen: prodLen}
+}
+
+// Protect runs the engine's stage 0 on one rank: encode the input shards
+// onto the code processors, cross the evaluation barrier, and repair any
+// data the barrier's fault events destroyed. The barrier is crossed even
+// with a nil code so the phase structure (and fault injection points) do not
+// depend on f.
+func (c *Coder) Protect(p *machine.Proc, rk *Rank) error {
+	codeword, err := c.CreateInputCode(p, rk.Ctx.Data)
+	if err != nil {
+		return err
+	}
+	rk.Ctx.Code = codeword
+
+	// Faults during the evaluation stage lose input data; the linear code
+	// rebuilds it with reduces — no recomputation (Section 4.1).
+	ev, err := p.Barrier(PhaseEval)
+	if err != nil {
+		return err
+	}
+	rk.EvalEvents = ev
+	if err := c.RecoverData(p, ev, rk.Ctx); err != nil {
+		return err
+	}
+	rk.Recovered += countDataLoss(ev)
+	return nil
+}
+
+func countDataLoss(ev []machine.FaultEvent) int { return len(ev) }
 
 func zeroVec(n int) machine.Ints {
 	v := make(machine.Ints, n)
@@ -27,28 +79,25 @@ func zeroVec(n int) machine.Ints {
 	return v
 }
 
-// inputVecLen is the length of the concatenated per-worker input vector.
-func (e *engine) inputVecLen() int { return 2 * e.digits / e.lay.P }
-
 // columnGroupWithRoot builds the reduce group for column j's code row i:
 // the given worker rows (ascending) followed by the root rank.
-func (e *engine) columnGroupWithRoot(j int, rows []int, root int) collective.Group {
+func (c *Coder) columnGroupWithRoot(j int, rows []int, root int) collective.Group {
 	g := make(collective.Group, 0, len(rows)+1)
 	for _, r := range rows {
-		g = append(g, e.lay.Worker(r, j))
+		g = append(g, c.lay.Worker(r, j))
 	}
 	return append(g, root)
 }
 
-// createInputCode runs the paper's code creation (Section 4.1): each column
-// of workers encodes its input data onto the f code processors below it with
-// Vandermonde-weighted reduces. Workers pass their input shares; code
+// CreateInputCode runs the paper's code creation (Section 4.1): each column
+// of workers encodes its input shards onto the f code processors below it
+// with Vandermonde-weighted reduces. Workers pass their shard; code
 // processors receive their codeword; other ranks return nil.
-func (e *engine) createInputCode(p *machine.Proc, myA, myB []bigint.Int) ([]bigint.Int, error) {
-	if e.code == nil {
+func (c *Coder) CreateInputCode(p *machine.Proc, data []bigint.Int) ([]bigint.Int, error) {
+	if c.code == nil {
 		return nil, nil
 	}
-	lay := e.lay
+	lay := c.lay
 	rank := p.ID()
 	allRows := seq(lay.GPrime)
 	var myCode []bigint.Int
@@ -59,15 +108,15 @@ func (e *engine) createInputCode(p *machine.Proc, myA, myB []bigint.Int) ([]bigi
 			if !isWorker && rank != root {
 				continue
 			}
-			group := e.columnGroupWithRoot(j, allRows, root)
+			group := c.columnGroupWithRoot(j, allRows, root)
 			tag := fmt.Sprintf("code1/%d/%d", i, j)
 			var mine machine.Ints
 			var weight int64
 			if isWorker {
-				mine = machine.Ints(concat(myA, myB))
-				weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+				mine = machine.Ints(data)
+				weight = c.code.RedundancyRow(i)[rank%lay.GPrime]
 			} else {
-				mine = zeroVec(e.inputVecLen())
+				mine = zeroVec(c.dataLen)
 			}
 			got, err := collective.WeightedReduce(p, group, len(group)-1, tag, mine, weight)
 			if err != nil {
@@ -81,16 +130,16 @@ func (e *engine) createInputCode(p *machine.Proc, myA, myB []bigint.Int) ([]bigi
 	return myCode, nil
 }
 
-// recoverInputs repairs input data lost to the fault events: each affected
-// column rebuilds its victims' shares from the survivors and the code
+// RecoverData repairs shard data lost to the fault events: each affected
+// column rebuilds its victims' shards from the survivors and the code
 // processors via reduces and one small exact solve (Section 4.1, "Fault
 // recovery"); dead code processors are then re-encoded. The victim's
-// restored shares are written back into ctx.
-func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *procCtx) error {
-	if len(ev) == 0 || e.code == nil {
+// restored shard is written back into ctx.
+func (c *Coder) RecoverData(p *machine.Proc, ev []machine.FaultEvent, ctx *Ctx) error {
+	if len(ev) == 0 || c.code == nil {
 		return nil
 	}
-	lay := e.lay
+	lay := c.lay
 	rank := p.ID()
 
 	// Partition victims: workers by column; linear-code casualties.
@@ -99,17 +148,17 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 	for _, f := range ev {
 		switch {
 		case f.Proc < lay.P:
-			c := f.Proc / lay.GPrime
-			victimRows[c] = append(victimRows[c], f.Proc%lay.GPrime)
+			col := f.Proc / lay.GPrime
+			victimRows[col] = append(victimRows[col], f.Proc%lay.GPrime)
 		case f.Proc < lay.P+lay.F*lay.Cols():
 			idx := f.Proc - lay.P
 			deadCode[[2]int{idx / lay.Cols(), idx % lay.Cols()}] = true
 		}
 	}
 	cols := make([]int, 0, len(victimRows))
-	for c := range victimRows {
-		sort.Ints(victimRows[c])
-		cols = append(cols, c)
+	for col := range victimRows {
+		sort.Ints(victimRows[col])
+		cols = append(cols, col)
 	}
 	sort.Ints(cols)
 
@@ -123,7 +172,7 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 			}
 		}
 		if len(codeRows) < len(dead) {
-			return fmt.Errorf("ftparallel: column %d lost %d workers with only %d live code rows", j, len(dead), len(codeRows))
+			return fmt.Errorf("ftengine: column %d lost %d workers with only %d live code rows", j, len(dead), len(codeRows))
 		}
 		leader := lay.Worker(dead[0], j)
 		amLeader := rank == leader
@@ -134,17 +183,17 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 		var residuals [][]bigint.Int
 		for idx, i := range codeRows {
 			root := leader
-			group := e.columnGroupWithRoot(j, alive, root)
+			group := c.columnGroupWithRoot(j, alive, root)
 			tag := fmt.Sprintf("rec1/%d/%d", i, j)
 			participates := amLeader || (inColumn && containsInt(alive, rank%lay.GPrime))
 			if participates {
 				var mine machine.Ints
 				var weight int64
 				if amLeader {
-					mine = zeroVec(e.inputVecLen())
+					mine = zeroVec(c.dataLen)
 				} else {
-					mine = machine.Ints(concat(ctx.topA, ctx.topB))
-					weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+					mine = machine.Ints(ctx.Data)
+					weight = c.code.RedundancyRow(i)[rank%lay.GPrime]
 				}
 				got, err := collective.WeightedReduce(p, group, len(group)-1, tag, mine, weight)
 				if err != nil {
@@ -156,7 +205,7 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 			}
 			codeProc := lay.LinearCode(i, j)
 			if rank == codeProc {
-				if err := p.Send(leader, tag+"/cw", machine.Ints(ctx.topCode)); err != nil {
+				if err := p.Send(leader, tag+"/cw", machine.Ints(ctx.Code)); err != nil {
 					return err
 				}
 			}
@@ -172,18 +221,16 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 			}
 		}
 
-		// Leader solves the Vandermonde minor and distributes the shares.
+		// Leader solves the Vandermonde minor and distributes the shards.
 		if amLeader {
-			shares, err := e.solveMinor(p, codeRows, dead, residuals)
+			shares, err := c.solveMinor(p, codeRows, dead, residuals)
 			if err != nil {
 				return err
 			}
 			for vi, r := range dead {
 				target := lay.Worker(r, j)
 				if target == leader {
-					half := len(shares[vi]) / 2
-					ctx.topA = shares[vi][:half]
-					ctx.topB = shares[vi][half:]
+					ctx.Data = shares[vi]
 					continue
 				}
 				if err := p.Send(target, fmt.Sprintf("rec1/share/%d", j), machine.Ints(shares[vi])); err != nil {
@@ -195,14 +242,12 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 			if err != nil {
 				return err
 			}
-			half := len(got) / 2
-			ctx.topA = got[:half]
-			ctx.topB = got[half:]
+			ctx.Data = []bigint.Int(got)
 		}
 	}
 
 	// Re-encode columns whose code processors died (their codewords are
-	// gone); victims' shares are restored by now, so the full column can
+	// gone); victims' shards are restored by now, so the full column can
 	// re-run code creation for the affected rows.
 	keys := make([][2]int, 0, len(deadCode))
 	for key := range deadCode {
@@ -221,38 +266,37 @@ func (e *engine) recoverInputs(p *machine.Proc, ev []machine.FaultEvent, ctx *pr
 		if !isWorker && rank != root {
 			continue
 		}
-		group := e.columnGroupWithRoot(j, seq(lay.GPrime), root)
+		group := c.columnGroupWithRoot(j, seq(lay.GPrime), root)
 		tag := fmt.Sprintf("reenc1/%d/%d", i, j)
 		var mine machine.Ints
 		var weight int64
 		if isWorker {
-			mine = machine.Ints(concat(ctx.topA, ctx.topB))
-			weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+			mine = machine.Ints(ctx.Data)
+			weight = c.code.RedundancyRow(i)[rank%lay.GPrime]
 		} else {
-			mine = zeroVec(e.inputVecLen())
+			mine = zeroVec(c.dataLen)
 		}
 		got, err := collective.WeightedReduce(p, group, len(group)-1, tag, mine, weight)
 		if err != nil {
 			return err
 		}
 		if rank == root {
-			ctx.topCode = []bigint.Int(got)
+			ctx.Code = []bigint.Int(got)
 		}
 	}
 	return nil
 }
 
-// createProductCode re-creates the linear code over the child products of
-// the live worker columns ("Each BFS step initiates a new code creation
-// process"), protecting the interpolation stage. It returns the code
-// processor's product codeword (nil elsewhere).
-func (e *engine) createProductCode(p *machine.Proc, deadCols map[int]bool, childProd []bigint.Int, tag string) ([]bigint.Int, error) {
-	if e.code == nil {
+// CreateProductCode re-creates the linear code over the mid-step product
+// shares of the live worker columns ("Each BFS step initiates a new code
+// creation process"), protecting the recombination stage. It returns the
+// code processor's product codeword (nil elsewhere).
+func (c *Coder) CreateProductCode(p *machine.Proc, deadCols map[int]bool, prod []bigint.Int, tag string) ([]bigint.Int, error) {
+	if c.code == nil {
 		return nil, nil
 	}
-	lay := e.lay
+	lay := c.lay
 	rank := p.ID()
-	prodLen := e.productShareLen()
 	var myCode []bigint.Int
 	for i := 0; i < lay.F; i++ {
 		for j := 0; j < lay.Cols(); j++ {
@@ -264,15 +308,15 @@ func (e *engine) createProductCode(p *machine.Proc, deadCols map[int]bool, child
 			if !isWorker && rank != root {
 				continue
 			}
-			group := e.columnGroupWithRoot(j, seq(lay.GPrime), root)
+			group := c.columnGroupWithRoot(j, seq(lay.GPrime), root)
 			rtag := fmt.Sprintf("%s/code2/%d/%d", tag, i, j)
 			var mine machine.Ints
 			var weight int64
 			if isWorker {
-				mine = machine.Ints(childProd)
-				weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+				mine = machine.Ints(prod)
+				weight = c.code.RedundancyRow(i)[rank%lay.GPrime]
 			} else {
-				mine = zeroVec(prodLen)
+				mine = zeroVec(c.prodLen)
 			}
 			got, err := collective.WeightedReduce(p, group, len(group)-1, rtag, mine, weight)
 			if err != nil {
@@ -286,32 +330,23 @@ func (e *engine) createProductCode(p *machine.Proc, deadCols map[int]bool, child
 	return myCode, nil
 }
 
-// productShareLen is the per-processor child-product share length at the
-// coded BFS step.
-func (e *engine) productShareLen() int {
-	k := e.alg.K()
-	lenTotal := e.digits / pow(k, e.ldfs)
-	return 2 * lenTotal / (k * e.lay.GPrime)
-}
-
-// recoverProducts repairs child-product shares lost at the interpolation
-// stage for victims in live worker columns, using the freshly created
-// product code. The victim's restored share is returned (others pass
-// through unchanged).
-func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadCols map[int]bool, childProd, prodCode []bigint.Int, tag string) ([]bigint.Int, []bigint.Int, error) {
-	if len(ev) == 0 || e.code == nil {
-		return childProd, prodCode, nil
+// RecoverProducts repairs product shares lost after CreateProductCode for
+// victims in live worker columns, using the freshly created product code.
+// The victim's restored share is returned (others pass through unchanged).
+func (c *Coder) RecoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadCols map[int]bool, prod, prodCode []bigint.Int, tag string) ([]bigint.Int, []bigint.Int, error) {
+	if len(ev) == 0 || c.code == nil {
+		return prod, prodCode, nil
 	}
-	lay := e.lay
+	lay := c.lay
 	rank := p.ID()
 	victimRows := map[int][]int{}
 	deadCode := map[[2]int]bool{}
 	for _, f := range ev {
 		switch {
 		case f.Proc < lay.P:
-			c := f.Proc / lay.GPrime
-			if !deadCols[c] {
-				victimRows[c] = append(victimRows[c], f.Proc%lay.GPrime)
+			col := f.Proc / lay.GPrime
+			if !deadCols[col] {
+				victimRows[col] = append(victimRows[col], f.Proc%lay.GPrime)
 			}
 		case f.Proc < lay.P+lay.F*lay.Cols():
 			idx := f.Proc - lay.P
@@ -319,12 +354,11 @@ func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadC
 		}
 	}
 	cols := make([]int, 0, len(victimRows))
-	for c := range victimRows {
-		sort.Ints(victimRows[c])
-		cols = append(cols, c)
+	for col := range victimRows {
+		sort.Ints(victimRows[col])
+		cols = append(cols, col)
 	}
 	sort.Ints(cols)
-	prodLen := e.productShareLen()
 
 	for _, j := range cols {
 		dead := victimRows[j]
@@ -336,7 +370,7 @@ func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadC
 			}
 		}
 		if len(codeRows) < len(dead) {
-			return nil, nil, fmt.Errorf("ftparallel: column %d lost %d product shares with only %d live code rows", j, len(dead), len(codeRows))
+			return nil, nil, fmt.Errorf("ftengine: column %d lost %d product shares with only %d live code rows", j, len(dead), len(codeRows))
 		}
 		leader := lay.Worker(dead[0], j)
 		amLeader := rank == leader
@@ -344,17 +378,17 @@ func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadC
 
 		var residuals [][]bigint.Int
 		for idx, i := range codeRows {
-			group := e.columnGroupWithRoot(j, alive, leader)
+			group := c.columnGroupWithRoot(j, alive, leader)
 			rtag := fmt.Sprintf("%s/rec2/%d/%d", tag, i, j)
 			participates := amLeader || (inColumn && containsInt(alive, rank%lay.GPrime))
 			if participates {
 				var mine machine.Ints
 				var weight int64
 				if amLeader {
-					mine = zeroVec(prodLen)
+					mine = zeroVec(c.prodLen)
 				} else {
-					mine = machine.Ints(childProd)
-					weight = e.code.RedundancyRow(i)[rank%lay.GPrime]
+					mine = machine.Ints(prod)
+					weight = c.code.RedundancyRow(i)[rank%lay.GPrime]
 				}
 				got, err := collective.WeightedReduce(p, group, len(group)-1, rtag, mine, weight)
 				if err != nil {
@@ -382,14 +416,14 @@ func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadC
 			}
 		}
 		if amLeader {
-			shares, err := e.solveMinor(p, codeRows, dead, residuals)
+			shares, err := c.solveMinor(p, codeRows, dead, residuals)
 			if err != nil {
 				return nil, nil, err
 			}
 			for vi, r := range dead {
 				target := lay.Worker(r, j)
 				if target == leader {
-					childProd = shares[vi]
+					prod = shares[vi]
 					continue
 				}
 				if err := p.Send(target, fmt.Sprintf("%s/rec2/share/%d", tag, j), machine.Ints(shares[vi])); err != nil {
@@ -401,28 +435,28 @@ func (e *engine) recoverProducts(p *machine.Proc, ev []machine.FaultEvent, deadC
 			if err != nil {
 				return nil, nil, err
 			}
-			childProd = []bigint.Int(got)
+			prod = []bigint.Int(got)
 		}
 	}
-	return childProd, prodCode, nil
+	return prod, prodCode, nil
 }
 
 // solveMinor solves the s×s Vandermonde-minor system: given residuals
 // residual_i = Σ_{v} η_i^{r_v}·x_v for the live code rows i and dead rows
 // r_v, it returns the x_v vectors. The minor is invertible by the MDS
 // property (Definition 2.7) and the solution is exactly integral.
-func (e *engine) solveMinor(p *machine.Proc, codeRows, deadRows []int, residuals [][]bigint.Int) ([][]bigint.Int, error) {
+func (c *Coder) solveMinor(p *machine.Proc, codeRows, deadRows []int, residuals [][]bigint.Int) ([][]bigint.Int, error) {
 	s := len(deadRows)
 	a := mat.New(s, s)
 	for i := 0; i < s; i++ {
-		row := e.code.RedundancyRow(codeRows[i])
+		row := c.code.RedundancyRow(codeRows[i])
 		for v := 0; v < s; v++ {
 			a.Set(i, v, rat.FromInt64(row[deadRows[v]]))
 		}
 	}
 	inv, err := a.Inverse()
 	if err != nil {
-		return nil, fmt.Errorf("ftparallel: decode minor singular: %w", err)
+		return nil, fmt.Errorf("ftengine: decode minor singular: %w", err)
 	}
 	width := len(residuals[0])
 	out := make([][]bigint.Int, s)
@@ -432,15 +466,15 @@ func (e *engine) solveMinor(p *machine.Proc, codeRows, deadRows []int, residuals
 		for t := 0; t < width; t++ {
 			acc := rat.Zero()
 			for i := 0; i < s; i++ {
-				c := inv.At(v, i)
-				if c.IsZero() || residuals[i][t].IsZero() {
+				coef := inv.At(v, i)
+				if coef.IsZero() || residuals[i][t].IsZero() {
 					continue
 				}
-				acc = acc.Add(c.MulInt(residuals[i][t]))
+				acc = acc.Add(coef.MulInt(residuals[i][t]))
 				work += wordsOf(residuals[i][t])
 			}
 			if !acc.IsInt() {
-				return nil, fmt.Errorf("ftparallel: non-integral decode (corrupted data?)")
+				return nil, fmt.Errorf("ftengine: non-integral decode (corrupted data?)")
 			}
 			vec[t] = acc.Int()
 		}
@@ -479,4 +513,11 @@ func containsInt(xs []int, v int) bool {
 		}
 	}
 	return false
+}
+
+func wordsOf(x bigint.Int) int64 {
+	if l := int64(x.WordLen()); l > 0 {
+		return l
+	}
+	return 1
 }

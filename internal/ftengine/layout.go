@@ -1,0 +1,217 @@
+// Package ftengine is the algorithm-agnostic fault-tolerant execution core
+// extracted from the Toom-Cook engine (Section 4 machinery): the processor
+// grid layout shared by both codes, the linear-erasure Coder protecting
+// per-rank data across fail-stop faults, the per-row straggler decision
+// protocol, and the generic encode → scatter → compute → barrier/fault-detect
+// → gather → decode loop over machine.Proc.
+//
+// A concrete algorithm plugs in as a Workload: it splits its inputs into
+// per-rank coded shards, performs the per-rank compute step (using the
+// engine's Coder and fault bookkeeping as it crosses phase barriers),
+// decodes the surviving shards, and recombines them into the output. The
+// Toom-Cook instantiation lives in internal/ftparallel; the Strassen-like
+// matrix instantiation in internal/ftmatmul.
+//
+// The two codes the engine's grid hosts (Theorem 5.2):
+//
+//   - a systematic linear erasure code (Section 4.1, Figure 1): f rows of
+//     code processors under the P/(2k-1) × (2k-1) worker grid, each code
+//     processor holding a Vandermonde-weighted sum of its column. The code
+//     commutes with linear stages, so data lost there is rebuilt with a
+//     reduce — no recomputation;
+//
+//   - a polynomial code (Section 4.2, Figure 2): f redundant evaluation
+//     points materialized as f extra grid columns. Nonlinear stages break
+//     the linear code, but any 2k-1 surviving columns determine the result:
+//     the recombination matrix is built on the fly from the survivors.
+//
+// Faults are injected at phase barriers (PhaseEval, PhaseMul, PhaseInterp)
+// via the machine's fail-stop fault plan; the replacement processor rejoins
+// with empty memory and the recovery protocols restore it.
+package ftengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Phase names at which faults can be injected (machine.Fault.Phase).
+const (
+	// PhaseEval covers faults during the evaluation stage: input/code data
+	// lost, recovered via the linear code (Section 4.1).
+	PhaseEval = "eval"
+	// PhaseMul covers faults during the multiplication stage: the affected
+	// grid column is halted and interpolation proceeds from the surviving
+	// columns via the polynomial code (Section 4.2).
+	PhaseMul = "mul"
+	// PhaseInterp covers faults during the interpolation stage: product
+	// data lost, recovered via the re-created linear code.
+	PhaseInterp = "interp"
+)
+
+// Layout maps the paper's processor grid (Figures 1 and 2) onto machine
+// ranks: P workers in a (P/(2k-1)) × (2k-1) column-major grid, then
+// f·(2k-1) linear-code processors (f code rows), then f·(P/(2k-1))
+// polynomial-code processors (f code columns).
+type Layout struct {
+	P, K, F int
+	GPrime  int // grid height P/(2k-1)
+}
+
+// NewLayout validates the grid shape.
+func NewLayout(p, k, f int) (Layout, error) {
+	if k < 2 {
+		return Layout{}, fmt.Errorf("ftengine: k must be >= 2")
+	}
+	cols := 2*k - 1
+	if p%cols != 0 || p < cols {
+		return Layout{}, fmt.Errorf("ftengine: P = %d is not a multiple of 2k-1 = %d", p, cols)
+	}
+	if f < 0 {
+		return Layout{}, fmt.Errorf("ftengine: negative fault tolerance")
+	}
+	return Layout{P: p, K: k, F: f, GPrime: p / cols}, nil
+}
+
+// FlatLayout returns a degenerate p-rank layout with no code processors,
+// for workloads whose fault tolerance is algorithmic (replication, or the
+// two-distinct-algorithms matrix scheme) rather than grid-coded. Only Total
+// and the phase barriers are meaningful on it; grid queries (Worker,
+// ColumnRank, ...) must not be used.
+func FlatLayout(p int) Layout { return Layout{P: p, K: 2, F: 0, GPrime: p} }
+
+// Cols returns the worker-grid width 2k-1.
+func (l Layout) Cols() int { return 2*l.K - 1 }
+
+// Worker returns the machine rank of grid cell (row r, column c).
+func (l Layout) Worker(r, c int) int { return r + c*l.GPrime }
+
+// WorkerPos inverts Worker for ranks < P.
+func (l Layout) WorkerPos(rank int) (r, c int) { return rank % l.GPrime, rank / l.GPrime }
+
+// LinearCode returns the machine rank of linear-code processor (code row i,
+// column j) — the green bottom rows of Figure 1.
+func (l Layout) LinearCode(i, j int) int { return l.P + i*l.Cols() + j }
+
+// PolyCode returns the machine rank of polynomial-code processor (code
+// column i, row r) — the green right-hand columns of Figure 2.
+func (l Layout) PolyCode(i, r int) int { return l.P + l.F*l.Cols() + i*l.GPrime + r }
+
+// Total returns the full processor count including both code sets.
+func (l Layout) Total() int { return l.P + l.F*l.Cols() + l.F*l.GPrime }
+
+// ExtraProcessors returns the number of code processors.
+func (l Layout) ExtraProcessors() int { return l.Total() - l.P }
+
+// NumColumns returns the extended grid width 2k-1+f (worker columns plus
+// polynomial-code columns).
+func (l Layout) NumColumns() int { return l.Cols() + l.F }
+
+// ColumnRank returns the rank of the processor at (row r, extended column
+// j): a worker for j < 2k-1, a polynomial-code processor otherwise.
+func (l Layout) ColumnRank(r, j int) int {
+	if j < l.Cols() {
+		return l.Worker(r, j)
+	}
+	return l.PolyCode(j-l.Cols(), r)
+}
+
+// ColumnOf returns the extended-grid column of a rank and whether the rank
+// belongs to a grid column at all (linear-code processors do not).
+func (l Layout) ColumnOf(rank int) (int, bool) {
+	switch {
+	case rank < l.P:
+		return rank / l.GPrime, true
+	case rank < l.P+l.F*l.Cols():
+		return 0, false
+	case rank < l.Total():
+		return l.Cols() + (rank-l.P-l.F*l.Cols())/l.GPrime, true
+	default:
+		return 0, false
+	}
+}
+
+// RowOf returns the grid row of a rank within its column (grid or code
+// columns), and whether the rank is in a grid column.
+func (l Layout) RowOf(rank int) (int, bool) {
+	switch {
+	case rank < l.P:
+		return rank % l.GPrime, true
+	case rank < l.P+l.F*l.Cols():
+		return 0, false
+	case rank < l.Total():
+		return (rank - l.P - l.F*l.Cols()) % l.GPrime, true
+	default:
+		return 0, false
+	}
+}
+
+// RenderLinear renders the Figure 1 grid: the worker grid with f linear-code
+// rows appended at the bottom, each code processor encoding its column.
+func (l Layout) RenderLinear() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 layout: %d x %d worker grid + %d code row(s), linear (Vandermonde) column code\n",
+		l.GPrime, l.Cols(), l.F)
+	for r := 0; r < l.GPrime; r++ {
+		for c := 0; c < l.Cols(); c++ {
+			fmt.Fprintf(&b, " P%-3d", l.Worker(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	for i := 0; i < l.F; i++ {
+		for j := 0; j < l.Cols(); j++ {
+			fmt.Fprintf(&b, "[C%-3d", l.LinearCode(i, j))
+			b.WriteByte(']')
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("communication only within rows; each code processor encodes one column\n")
+	return b.String()
+}
+
+// RenderPoly renders the Figure 2 grid: the worker grid with f polynomial
+// code columns appended on the right, one per redundant evaluation point.
+func (l Layout) RenderPoly() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 layout: %d x %d worker grid + %d code column(s), polynomial code (redundant evaluation points)\n",
+		l.GPrime, l.Cols(), l.F)
+	for r := 0; r < l.GPrime; r++ {
+		for c := 0; c < l.Cols(); c++ {
+			fmt.Fprintf(&b, " P%-3d", l.Worker(r, c))
+		}
+		for i := 0; i < l.F; i++ {
+			fmt.Fprintf(&b, "[Q%-3d]", l.PolyCode(i, r))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("column j evaluates point j; any 2k-1 surviving columns interpolate the product\n")
+	return b.String()
+}
+
+// RenderMultiStep renders the Figure 3 grid: l merged BFS steps flatten the
+// grid to (P/(2k-1)^steps) × (2k-1)^steps with f polynomial-code columns.
+func RenderMultiStep(p, k, steps, f int) (string, error) {
+	cols := 1
+	for i := 0; i < steps; i++ {
+		cols *= 2*k - 1
+	}
+	if p%cols != 0 {
+		return "", fmt.Errorf("ftengine: P = %d not divisible by (2k-1)^%d = %d", p, steps, cols)
+	}
+	rows := p / cols
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 layout: %d x %d grid (%d merged BFS steps) + %d code column(s) of %d processors each\n",
+		rows, cols, steps, f, rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			fmt.Fprintf(&b, " P%-3d", r+c*rows)
+		}
+		for i := 0; i < f; i++ {
+			fmt.Fprintf(&b, "[Q%-3d]", p+i*rows+r)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "code processors per fault: %d (vs %d without multi-step)\n", rows, p/(2*k-1))
+	return b.String(), nil
+}

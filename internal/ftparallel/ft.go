@@ -2,11 +2,11 @@ package ftparallel
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bigint"
 	"repro/internal/collective"
 	"repro/internal/erasure"
+	"repro/internal/ftengine"
 	"repro/internal/machine"
 	"repro/internal/parallel"
 	"repro/internal/points"
@@ -61,12 +61,12 @@ type Result struct {
 	Recovered int
 }
 
-// engine carries the per-run immutable state shared by all processors.
+// engine is the Toom-Cook instantiation of ftengine.Workload: the per-run
+// immutable state shared by all processors.
 type engine struct {
 	lay    Layout
 	plan   *parallel.Plan
 	alg    *toom.Algorithm
-	code   *erasure.Code
 	pts    []points.Point // 2k-1+f extended evaluation points
 	uExt   [][]int64      // (2k-1+f)×k extended evaluation matrix
 	ldfs   int
@@ -94,12 +94,8 @@ type wScaled struct {
 	den  int64
 }
 
-// slotShares maps a virtual slot (0..P-1) to this processor's accumulated
-// share of the product vector for that slot.
-type slotShares map[int][]bigint.Int
-
 // Multiply runs the paper's fault-tolerant parallel Toom-Cook (mixed linear
-// + polynomial coding, Theorem 5.2).
+// + polynomial coding, Theorem 5.2) on the generic FT engine.
 func Multiply(a, b bigint.Int, opts Options) (*Result, error) {
 	if opts.Alg == nil {
 		return nil, fmt.Errorf("ftparallel: Options.Alg is required")
@@ -146,7 +142,6 @@ func Multiply(a, b bigint.Int, opts Options) (*Result, error) {
 		lay:    lay,
 		plan:   plan,
 		alg:    opts.Alg,
-		code:   code,
 		pts:    pts,
 		uExt:   uExt,
 		ldfs:   opts.DFSSteps,
@@ -160,40 +155,24 @@ func Multiply(a, b bigint.Int, opts Options) (*Result, error) {
 	if err := e.computeDenLCM(); err != nil {
 		return nil, err
 	}
-	cfg := opts.Machine
-	cfg.P = lay.Total()
-	m, err := machine.New(cfg, opts.Faults)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]slotShares, lay.Total())
-	deadLog := make([][]int, lay.Total())
-	recovered := make([]int, lay.Total())
-	rep, err := m.Run(func(p *machine.Proc) error {
-		st, dead, rec, err := e.run(p)
-		if err != nil {
-			return err
-		}
-		results[p.ID()] = st
-		deadLog[p.ID()] = dead
-		recovered[p.ID()] = rec
-		return nil
+	coder := ftengine.NewCoder(lay, code, e.inputVecLen(), e.productShareLen())
+	res, err := ftengine.Run(e, ftengine.RunOptions{
+		Layout:         lay,
+		Coder:          coder,
+		Machine:        opts.Machine,
+		Faults:         opts.Faults,
+		DropStragglers: opts.DropStragglers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	product, err := e.assemble(results)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Product:   product,
-		Report:    rep,
-		Layout:    lay,
-		Recovered: recovered[0],
-	}
-	res.DeadColumns = deadLog[0]
-	return res, nil
+	return &Result{
+		Product:     res.Output[0],
+		Report:      res.Report,
+		Layout:      lay,
+		DeadColumns: res.Dead,
+		Recovered:   res.Recovered,
+	}, nil
 }
 
 func maxInt(a, b int) int {
@@ -211,89 +190,76 @@ func pow(base, exp int) int {
 	return out
 }
 
-// run is the SPMD body. It returns the processor's slot shares, the dead
-// columns it observed, and the number of recoveries it participated in.
-func (e *engine) run(p *machine.Proc) (slotShares, []int, int, error) {
-	lay := e.lay
-	rank := p.ID()
+// inputVecLen is the length of the concatenated per-worker input vector.
+func (e *engine) inputVecLen() int { return 2 * e.digits / e.lay.P }
 
-	// Stage 0: inputs + linear code creation (Section 4.1, "Code creation").
-	ctx := &procCtx{}
-	if rank < lay.P {
-		ctx.topA, ctx.topB = e.plan.InputShares(rank)
-	}
-	recovered := 0
-	if !e.dropStragglers {
-		codeword, err := e.createInputCode(p, ctx.topA, ctx.topB)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		ctx.topCode = codeword
-
-		// Faults during the evaluation stage lose input data; the linear
-		// code rebuilds it with reduces — no recomputation (Section 4.1).
-		ev, err := p.Barrier(PhaseEval)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		if err := e.recoverInputs(p, ev, ctx); err != nil {
-			return nil, nil, 0, err
-		}
-		recovered += countDataLoss(ev)
-	}
-
-	st := &runState{deadSeen: map[int]bool{}}
-	shares, err := e.node(p, 0, nil, ctx.topA, ctx.topB, ctx, st)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	recovered += st.recovered
-	var dead []int
-	for c := range st.deadSeen {
-		dead = append(dead, c)
-	}
-	sort.Ints(dead)
-	return shares, dead, recovered, nil
+// productShareLen is the per-processor child-product share length at the
+// coded BFS step.
+func (e *engine) productShareLen() int {
+	k := e.alg.K()
+	lenTotal := e.digits / pow(k, e.ldfs)
+	return 2 * lenTotal / (k * e.lay.GPrime)
 }
 
-// runState tracks fault history during the recursion (identical on every
-// processor, since all fault events are globally visible).
-type runState struct {
-	deadSeen  map[int]bool
-	recovered int
+// Shard packs a worker's top-level input shares into the flat coded vector
+// the engine's linear code protects (Section 4.1, "Code creation"). Code
+// processors hold no input.
+func (e *engine) Shard(rank int) []bigint.Int {
+	if rank >= e.lay.P {
+		return nil
+	}
+	a, b := e.plan.InputShares(rank)
+	return concat(a, b)
 }
 
-func countDataLoss(ev []machine.FaultEvent) int { return len(ev) }
+// Step is the SPMD compute body: the coded BFS/DFS traversal over the
+// recursion tree, entered after the engine's coded prologue restored any
+// evaluation-phase victims.
+func (e *engine) Step(p *machine.Proc, rk *ftengine.Rank) (ftengine.Slots, error) {
+	var myA, myB []bigint.Int
+	if p.ID() < e.lay.P {
+		half := len(rk.Ctx.Data) / 2
+		myA, myB = rk.Ctx.Data[:half], rk.Ctx.Data[half:]
+	}
+	return e.node(p, 0, nil, myA, myB, rk)
+}
+
+// Decode passes the gathered slots through: multiplication-phase faults are
+// routed around inside the step (halted columns contribute no shares), so
+// the gathered slots are already decodable.
+func (e *engine) Decode(dead []int, slots map[int][]bigint.Int) (map[int][]bigint.Int, error) {
+	return slots, nil
+}
 
 // node handles one recursion level of the fault-tolerant schedule: DFS
 // levels iterate the 2k-1 sub-problems sequentially (each independently
 // protected), and the level at depth ldfs is the coded BFS step.
-func (e *engine) node(p *machine.Proc, level int, dfsPath []int, myA, myB []bigint.Int, ctx *procCtx, st *runState) (slotShares, error) {
+func (e *engine) node(p *machine.Proc, level int, dfsPath []int, myA, myB []bigint.Int, rk *ftengine.Rank) (ftengine.Slots, error) {
 	if level < e.ldfs {
-		return e.dfsLevel(p, level, dfsPath, myA, myB, ctx, st)
+		return e.dfsLevel(p, level, dfsPath, myA, myB, rk)
 	}
-	return e.bfsStep(p, dfsPath, myA, myB, ctx, st)
+	return e.bfsStep(p, dfsPath, myA, myB, rk)
 }
 
 // dfsLevel runs the 2k-1 sub-problems sequentially on all processors.
 // Evaluation is local for workers; the interpolation accumulates into
 // per-slot shares. The linear code processors' codewords commute with the
 // (linear) evaluation, so the column code remains decodable at every depth.
-func (e *engine) dfsLevel(p *machine.Proc, level int, dfsPath []int, myA, myB []bigint.Int, ctx *procCtx, st *runState) (slotShares, error) {
+func (e *engine) dfsLevel(p *machine.Proc, level int, dfsPath []int, myA, myB []bigint.Int, rk *ftengine.Rank) (ftengine.Slots, error) {
 	k := e.alg.K()
 	lay := e.lay
 	lenTotal := e.digits / pow(k, level)
 	lq := lenTotal / (k * lay.P)
 	wNum, _ := e.alg.WScaled()
 
-	acc := slotShares{}
+	acc := ftengine.Slots{}
 	for j := 0; j < 2*k-1; j++ {
 		var evalA, evalB []bigint.Int
 		if p.ID() < lay.P {
 			evalA = applyRowBlocks(p, e.alg.U()[j], myA, k)
 			evalB = applyRowBlocks(p, e.alg.U()[j], myB, k)
 		}
-		child, err := e.node(p, level+1, append(dfsPath, j), evalA, evalB, ctx, st)
+		child, err := e.node(p, level+1, append(dfsPath, j), evalA, evalB, rk)
 		if err != nil {
 			return nil, err
 		}
@@ -328,7 +294,7 @@ func (e *engine) dfsLevel(p *machine.Proc, level int, dfsPath []int, myA, myB []
 // bfsStep is the coded parallel step: extended evaluation over 2k-1+f
 // points, plain column subtrees, code re-creation, and interpolation from
 // the surviving columns.
-func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, ctx *procCtx, st *runState) (slotShares, error) {
+func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, rk *ftengine.Rank) (ftengine.Slots, error) {
 	lay := e.lay
 	k := e.alg.K()
 	cols := lay.Cols()
@@ -400,7 +366,7 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		for _, f := range ev {
 			if c, ok := lay.ColumnOf(f.Proc); ok {
 				deadCols[c] = true
-				st.deadSeen[c] = true
+				rk.DeadSeen[c] = true
 			}
 		}
 		if numCols-len(deadCols) < cols {
@@ -408,10 +374,10 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		}
 		// Victims also lost their top-level inputs; restore them (linear
 		// code) so later DFS sub-problems can proceed.
-		if err := e.recoverInputs(p, ev, ctx); err != nil {
+		if err := rk.Coder.RecoverData(p, ev, rk.Ctx); err != nil {
 			return nil, err
 		}
-		st.recovered += len(ev)
+		rk.Recovered += len(ev)
 		if isWorker && len(dfsPath) > 0 {
 			// A restored worker replays its (local, linear) evaluation
 			// chain from the recovered inputs. The replay is deterministic,
@@ -452,7 +418,8 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		// evaluation points stand in for them exactly as they do for dead
 		// columns.
 		var late []int
-		surv, late, err = e.decideOnTime(p, myRow, myCol, inGrid, tag)
+		dec := ftengine.Straggler{Lay: e.lay, Slack: e.slack}
+		surv, late, err = dec.DecideOnTime(p, myRow, myCol, inGrid, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -470,14 +437,14 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 			// as dropped; an unused on-time redundant column is not a
 			// straggler.
 			for _, c := range late {
-				st.deadSeen[c] = true
+				rk.DeadSeen[c] = true
 			}
 		}
 	} else {
 		// Code re-creation (Section 4.1: "Each BFS step initiates a new
 		// code creation process"): live worker columns encode their child
 		// products onto the code rows, protecting the interpolation stage.
-		prodCode, err := e.createProductCode(p, deadCols, childProd, tag)
+		prodCode, err := rk.Coder.CreateProductCode(p, deadCols, childProd, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -492,24 +459,24 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 		// point: interpolation-phase faults on code columns are declared
 		// dead below rather than re-protected. The error is checked — an
 		// undecodable erasure aborts the multiply.
-		childProd, _, err = e.recoverProducts(p, ev2, deadCols, childProd, prodCode, tag)
+		childProd, _, err = rk.Coder.RecoverProducts(p, ev2, deadCols, childProd, prodCode, tag)
 		if err != nil {
 			return nil, err
 		}
-		st.recovered += len(ev2)
+		rk.Recovered += len(ev2)
 		// Interpolation-phase faults on polynomial-code columns are not
 		// covered by the worker-column code; treat those columns as dead.
 		for _, f := range ev2 {
 			if c, ok := lay.ColumnOf(f.Proc); ok && c >= cols {
 				deadCols[c] = true
-				st.deadSeen[c] = true
+				rk.DeadSeen[c] = true
 			}
 		}
 		if numCols-len(deadCols) < cols {
 			return nil, fmt.Errorf("ftparallel: columns lost at interpolation, tolerance exceeded")
 		}
 		// Restore victims' inputs for subsequent DFS sub-problems.
-		if err := e.recoverInputs(p, ev2, ctx); err != nil {
+		if err := rk.Coder.RecoverData(p, ev2, rk.Ctx); err != nil {
 			return nil, err
 		}
 
@@ -521,7 +488,7 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 	}
 	if !inGrid {
 		// Linear-code processors hold no product share.
-		return slotShares{}, nil
+		return ftengine.Slots{}, nil
 	}
 	w, err := e.interpFor(surv)
 	if err != nil {
@@ -538,7 +505,7 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 	}
 	if myVirtual < 0 {
 		// Halted columns, unused live columns and code rows hold no share.
-		return slotShares{}, nil
+		return ftengine.Slots{}, nil
 	}
 	per := len(childProd) / cols // entries per class
 	var selfUp []bigint.Int
@@ -571,79 +538,7 @@ func (e *engine) bfsStep(p *machine.Proc, dfsPath []int, myA, myB []bigint.Int, 
 	}
 	out := e.fold(p, slices, w, lenTotal)
 	slot := myRow + myVirtual*gP
-	return slotShares{slot: out}, nil
-}
-
-// decideOnTime is the per-row straggler decision protocol: every grid
-// column of the row reports completion to the row's decider (extended
-// column 0); the decider accepts reports whose virtual arrival beats its
-// deadline (own completion + slack), picks the first 2k-1 on-time columns,
-// and broadcasts the choice to the whole row. Linear-code processors are
-// not involved and return a nil choice.
-func (e *engine) decideOnTime(p *machine.Proc, myRow, myCol int, inGrid bool, tag string) (chosen, late []int, err error) {
-	if !inGrid {
-		return nil, nil, nil
-	}
-	lay := e.lay
-	cols := lay.Cols()
-	numCols := lay.NumColumns()
-	decider := lay.ColumnRank(myRow, 0)
-	if p.ID() != decider {
-		if err := p.Send(decider, tag+"/done", machine.Meta{Value: myCol}); err != nil {
-			return nil, nil, err
-		}
-		dec, err := p.RecvInts(decider, tag+"/dec")
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(dec) < cols {
-			return nil, nil, fmt.Errorf("ftparallel: row decider aborted (straggler slack exhausted)")
-		}
-		all := make([]int, len(dec))
-		for i, v := range dec {
-			c, _ := v.Int64()
-			all[i] = int(c)
-		}
-		return all[:cols], all[cols:], nil
-	}
-	deadline := p.Clock() + e.slack
-	onTime := []int{0} // the decider's own column is on time by definition
-	for c := 1; c < numCols; c++ {
-		src := lay.ColumnRank(myRow, c)
-		_, ok, err := p.RecvDeadline(src, tag+"/done", deadline)
-		if err != nil {
-			return nil, nil, err
-		}
-		if ok {
-			onTime = append(onTime, c)
-		} else {
-			late = append(late, c)
-		}
-	}
-	if len(onTime) < cols {
-		// Abort fast: broadcast an empty decision so row-mates fail
-		// immediately instead of timing out.
-		for c := 1; c < numCols; c++ {
-			if err := p.Send(lay.ColumnRank(myRow, c), tag+"/dec", machine.Ints{}); err != nil {
-				return nil, nil, err
-			}
-		}
-		return nil, nil, fmt.Errorf("ftparallel: only %d of %d required columns reported within the straggler slack", len(onTime), cols)
-	}
-	chosen = onTime[:cols]
-	enc := make(machine.Ints, 0, cols+len(late))
-	for _, c := range chosen {
-		enc = append(enc, bigint.FromInt64(int64(c)))
-	}
-	for _, c := range late {
-		enc = append(enc, bigint.FromInt64(int64(c)))
-	}
-	for c := 1; c < numCols; c++ {
-		if err := p.Send(lay.ColumnRank(myRow, c), tag+"/dec", enc); err != nil {
-			return nil, nil, err
-		}
-	}
-	return chosen, late, nil
+	return ftengine.Slots{slot: out}, nil
 }
 
 // fold mirrors parallel's interpolation fold with the on-the-fly scaled
@@ -835,28 +730,11 @@ func wordsOf(x bigint.Int) int64 {
 	return 1
 }
 
-// assemble sums all slot shares into the product (unmetered read-out).
-func (e *engine) assemble(results []slotShares) (bigint.Int, error) {
+// Recombine assembles the decoded slot shares into the product (unmetered
+// read-out): interleave the per-slot coefficient shares, recompose, and
+// normalize the deferred denominators.
+func (e *engine) Recombine(perSlot map[int][]bigint.Int) ([]bigint.Int, error) {
 	lay := e.lay
-	perSlot := map[int][]bigint.Int{}
-	for _, st := range results {
-		for slot, share := range st {
-			cur, ok := perSlot[slot]
-			if !ok {
-				perSlot[slot] = append([]bigint.Int(nil), share...)
-				continue
-			}
-			if len(cur) != len(share) {
-				return bigint.Int{}, fmt.Errorf("ftparallel: ragged slot shares")
-			}
-			for i := range cur {
-				cur[i] = cur[i].Add(share[i])
-			}
-		}
-	}
-	if len(perSlot) == 0 {
-		return bigint.Int{}, fmt.Errorf("ftparallel: no result shares")
-	}
 	var shareLen int
 	for _, s := range perSlot {
 		shareLen = len(s)
@@ -865,7 +743,7 @@ func (e *engine) assemble(results []slotShares) (bigint.Int, error) {
 	full := make([]bigint.Int, shareLen*lay.P)
 	for slot, share := range perSlot {
 		if len(share) != shareLen {
-			return bigint.Int{}, fmt.Errorf("ftparallel: ragged slot shares")
+			return nil, fmt.Errorf("ftparallel: ragged slot shares")
 		}
 		for u, v := range share {
 			full[slot+u*lay.P] = v
@@ -883,7 +761,7 @@ func (e *engine) assemble(results []slotShares) (bigint.Int, error) {
 	if e.neg() {
 		z = z.Neg()
 	}
-	return z, nil
+	return []bigint.Int{z}, nil
 }
 
 // neg reports whether the product is negative.

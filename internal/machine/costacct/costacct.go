@@ -32,6 +32,7 @@ type Stats struct {
 	SentWords int64 // words sent
 	RecvWords int64 // words received
 	Messages  int64 // L: messages sent
+	Barriers  int64 // barrier crossings (their messages are already in L/BW)
 }
 
 // Transport decorates inner with cost accounting.
@@ -131,6 +132,7 @@ func (ep *Endpoint) Barrier(phase string, local []transport.FaultEvent) ([]trans
 	if logP < 1 {
 		logP = 1
 	}
+	ep.st.Barriers++
 	ep.st.Messages += logP
 	ep.st.SentWords += logP
 	ep.inner.Elapse(float64(logP) * (ep.model.Alpha + ep.model.Beta))

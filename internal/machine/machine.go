@@ -172,6 +172,7 @@ type Stats struct {
 	SentWords int64   // words sent
 	RecvWords int64   // words received
 	Messages  int64   // L: messages sent
+	Barriers  int64   // barrier crossings
 	PeakWords int64   // peak local-store occupancy
 	Clock     float64 // completion time (virtual units on sim, model units/seconds on wall)
 	Faults    int     // times this rank was killed and replaced
@@ -196,6 +197,7 @@ type Report struct {
 	PerProc []Stats
 	F       int64   // max flops over processors
 	BW      int64   // max words sent over processors
+	BWIn    int64   // max words received over processors (inbound critical path)
 	L       int64   // max messages over processors
 	Time    float64 // max clock = modeled runtime C (sim) or elapsed wall time (wall)
 	TotalF  int64
@@ -349,6 +351,7 @@ func (m *Machine) RunContext(ctx context.Context, program func(*Proc) error) (*R
 			SentWords: c.SentWords,
 			RecvWords: c.RecvWords,
 			Messages:  c.Messages,
+			Barriers:  c.Barriers,
 			PeakWords: p.peakWords,
 			Clock:     p.exitClock,
 			Faults:    p.faultCount,
@@ -362,6 +365,9 @@ func (m *Machine) RunContext(ctx context.Context, program func(*Proc) error) (*R
 		}
 		if s.SentWords > rep.BW {
 			rep.BW = s.SentWords
+		}
+		if s.RecvWords > rep.BWIn {
+			rep.BWIn = s.RecvWords
 		}
 		if s.Messages > rep.L {
 			rep.L = s.Messages

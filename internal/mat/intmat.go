@@ -1,0 +1,280 @@
+package mat
+
+// intmat.go implements dense matrices over arbitrary-precision integers
+// (internal/bigint) — the payload type of the fault-tolerant matrix
+// multiplication tier. An IntMat flattens to a row-major []bigint.Int, which
+// is exactly the machine.Ints shape the collective layer moves, so matrix
+// tiles travel the same tagged-limb channels as integer digits with no
+// second collective implementation.
+
+import (
+	"fmt"
+
+	"repro/internal/bigint"
+)
+
+// IntMat is a dense rows×cols matrix over integers. The zero IntMat is the
+// empty 0×0 matrix. Matrices are mutable; use Clone before destructive
+// operations when the original is still needed.
+//
+// The type is deliberately not named Int: the analysis layers key limb
+// arithmetic and value contracts on the receiver type name "Int"
+// (bigint.Int), and a colliding matrix type would be swept into those rules.
+type IntMat struct {
+	rows, cols int
+	a          []bigint.Int // row-major
+}
+
+// NewIntMat returns a zero-filled rows×cols integer matrix.
+func NewIntMat(rows, cols int) *IntMat {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	a := make([]bigint.Int, rows*cols)
+	for i := range a {
+		a[i] = bigint.Zero()
+	}
+	return &IntMat{rows: rows, cols: cols, a: a}
+}
+
+// IntMatFromFlat builds a rows×cols matrix over a row-major flat vector.
+// The slice is adopted, not copied — the inverse of Flat.
+func IntMatFromFlat(rows, cols int, flat []bigint.Int) *IntMat {
+	if len(flat) != rows*cols {
+		panic(fmt.Sprintf("mat: IntMatFromFlat got %d entries for %dx%d", len(flat), rows, cols))
+	}
+	return &IntMat{rows: rows, cols: cols, a: flat}
+}
+
+// IntMatFromInt64s builds a matrix from a row-major slice of small integers.
+func IntMatFromInt64s(rows, cols int, vals []int64) *IntMat {
+	if len(vals) != rows*cols {
+		panic("mat: IntMatFromInt64s size mismatch")
+	}
+	m := NewIntMat(rows, cols)
+	for i, v := range vals {
+		m.a[i] = bigint.FromInt64(v)
+	}
+	return m
+}
+
+// IntIdentity returns the n×n integer identity matrix.
+func IntIdentity(n int) *IntMat {
+	m := NewIntMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, bigint.FromInt64(1))
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *IntMat) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *IntMat) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *IntMat) At(i, j int) bigint.Int {
+	m.check(i, j)
+	return m.a[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *IntMat) Set(i, j int, v bigint.Int) {
+	m.check(i, j)
+	m.a[i*m.cols+j] = v
+}
+
+func (m *IntMat) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Flat returns the row-major backing vector — the wire shape the collective
+// layer sends. The slice aliases the matrix; callers who mutate it mutate m.
+func (m *IntMat) Flat() []bigint.Int { return m.a }
+
+// Clone returns a deep copy of m (entry values are immutable, so copying the
+// backing slice suffices).
+func (m *IntMat) Clone() *IntMat {
+	z := &IntMat{rows: m.rows, cols: m.cols, a: make([]bigint.Int, len(m.a))}
+	copy(z.a, m.a)
+	return z
+}
+
+// Equal reports whether m and n have the same shape and entries.
+func (m *IntMat) Equal(n *IntMat) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.a {
+		if m.a[i].Cmp(n.a[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + n.
+func (m *IntMat) Add(n *IntMat) *IntMat {
+	m.sameShape(n, "Add")
+	z := &IntMat{rows: m.rows, cols: m.cols, a: make([]bigint.Int, len(m.a))}
+	for i := range m.a {
+		z.a[i] = m.a[i].Add(n.a[i])
+	}
+	return z
+}
+
+// SubM returns m − n. (Sub would collide with the bigint.Int limb-arithmetic
+// method set the analyzers govern.)
+func (m *IntMat) SubM(n *IntMat) *IntMat {
+	m.sameShape(n, "SubM")
+	z := &IntMat{rows: m.rows, cols: m.cols, a: make([]bigint.Int, len(m.a))}
+	for i := range m.a {
+		z.a[i] = m.a[i].Sub(n.a[i])
+	}
+	return z
+}
+
+func (m *IntMat) sameShape(n *IntMat, op string) {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.rows, m.cols, n.rows, n.cols))
+	}
+}
+
+// MulNaive returns the matrix product m·n by the classical O(r·c·k) triple
+// loop — the oracle the Strassen path is verified against.
+func (m *IntMat) MulNaive(n *IntMat) *IntMat {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("mat: MulNaive shape mismatch %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	z := NewIntMat(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mik := m.a[i*m.cols+k]
+			if mik.IsZero() {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				z.a[i*n.cols+j] = z.a[i*n.cols+j].Add(mik.Mul(n.a[k*n.cols+j]))
+			}
+		}
+	}
+	return z
+}
+
+// strassenCutoff is the dimension below which Strassen recursion falls back
+// to the classical product; 2×2 blocking gains nothing on tiny tiles.
+const strassenCutoff = 8
+
+// Strassen returns the matrix product m·n via Strassen's 2×2 recursion.
+// Odd or non-square shapes are zero-padded to the next even square at each
+// level and the result is cropped back, so any conformable pair multiplies.
+func (m *IntMat) Strassen(n *IntMat) *IntMat {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("mat: Strassen shape mismatch %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	size := maxDim(m.rows, m.cols, n.cols)
+	if size%2 != 0 {
+		size++
+	}
+	if size < strassenCutoff {
+		return m.MulNaive(n)
+	}
+	a := m.padTo(size, size)
+	b := n.padTo(size, size)
+	c := strassenSquare(a, b)
+	return c.Block(0, 0, m.rows, n.cols)
+}
+
+// strassenSquare multiplies two even n×n matrices by Strassen's identities.
+func strassenSquare(a, b *IntMat) *IntMat {
+	n := a.rows
+	if n < strassenCutoff {
+		return a.MulNaive(b)
+	}
+	h := n / 2
+	if h%2 != 0 && h >= strassenCutoff {
+		// Keep halves even so every level splits cleanly.
+		return a.padTo(n+2, n+2).strassenEven(b.padTo(n+2, n+2)).Block(0, 0, n, n)
+	}
+	return a.strassenEven(b)
+}
+
+func (a *IntMat) strassenEven(b *IntMat) *IntMat {
+	n := a.rows
+	h := n / 2
+	a00, a01 := a.Block(0, 0, h, h), a.Block(0, h, h, h)
+	a10, a11 := a.Block(h, 0, h, h), a.Block(h, h, h, h)
+	b00, b01 := b.Block(0, 0, h, h), b.Block(0, h, h, h)
+	b10, b11 := b.Block(h, 0, h, h), b.Block(h, h, h, h)
+
+	m1 := strassenSquare(a00.Add(a11), b00.Add(b11))
+	m2 := strassenSquare(a10.Add(a11), b00)
+	m3 := strassenSquare(a00, b01.SubM(b11))
+	m4 := strassenSquare(a11, b10.SubM(b00))
+	m5 := strassenSquare(a00.Add(a01), b11)
+	m6 := strassenSquare(a10.SubM(a00), b00.Add(b01))
+	m7 := strassenSquare(a01.SubM(a11), b10.Add(b11))
+
+	c := NewIntMat(n, n)
+	c.SetBlock(0, 0, m1.Add(m4).SubM(m5).Add(m7))
+	c.SetBlock(0, h, m3.Add(m5))
+	c.SetBlock(h, 0, m2.Add(m4))
+	c.SetBlock(h, h, m1.SubM(m2).Add(m3).Add(m6))
+	return c
+}
+
+// Block returns a copy of the r×c submatrix whose top-left corner is (i0, j0).
+func (m *IntMat) Block(i0, j0, r, c int) *IntMat {
+	if i0 < 0 || j0 < 0 || r < 0 || c < 0 || i0+r > m.rows || j0+c > m.cols {
+		panic(fmt.Sprintf("mat: Block (%d,%d)+%dx%d out of range %dx%d", i0, j0, r, c, m.rows, m.cols))
+	}
+	z := &IntMat{rows: r, cols: c, a: make([]bigint.Int, r*c)}
+	for i := 0; i < r; i++ {
+		copy(z.a[i*c:(i+1)*c], m.a[(i0+i)*m.cols+j0:(i0+i)*m.cols+j0+c])
+	}
+	return z
+}
+
+// SetBlock copies blk into m with its top-left corner at (i0, j0).
+func (m *IntMat) SetBlock(i0, j0 int, blk *IntMat) {
+	if i0 < 0 || j0 < 0 || i0+blk.rows > m.rows || j0+blk.cols > m.cols {
+		panic(fmt.Sprintf("mat: SetBlock (%d,%d)+%dx%d out of range %dx%d", i0, j0, blk.rows, blk.cols, m.rows, m.cols))
+	}
+	for i := 0; i < blk.rows; i++ {
+		copy(m.a[(i0+i)*m.cols+j0:(i0+i)*m.cols+j0+blk.cols], blk.a[i*blk.cols:(i+1)*blk.cols])
+	}
+}
+
+// padTo returns m zero-extended to rows×cols (m's shape must fit).
+func (m *IntMat) padTo(rows, cols int) *IntMat {
+	if rows == m.rows && cols == m.cols {
+		return m
+	}
+	z := NewIntMat(rows, cols)
+	z.SetBlock(0, 0, m)
+	return z
+}
+
+// Transpose returns mᵀ.
+func (m *IntMat) Transpose() *IntMat {
+	z := &IntMat{rows: m.cols, cols: m.rows, a: make([]bigint.Int, len(m.a))}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			z.a[j*m.rows+i] = m.a[i*m.cols+j]
+		}
+	}
+	return z
+}
+
+func maxDim(vals ...int) int {
+	out := 0
+	for _, v := range vals {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
